@@ -1,0 +1,10 @@
+"""Benchmark A1 (ablation): trigger divisor cost/accuracy trade-off.
+
+Regenerates the A1 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_a1_hh_trigger_ablation(run_experiment_bench):
+    result = run_experiment_bench("A1")
+    assert result.experiment_id == "A1"

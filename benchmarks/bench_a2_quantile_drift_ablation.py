@@ -1,0 +1,10 @@
+"""Benchmark A2 (ablation): recenter trigger cost/accuracy trade-off.
+
+Regenerates the A2 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_a2_quantile_drift_ablation(run_experiment_bench):
+    result = run_experiment_bench("A2")
+    assert result.experiment_id == "A2"

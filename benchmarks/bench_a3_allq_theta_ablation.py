@@ -1,0 +1,10 @@
+"""Benchmark A3 (ablation): count resolution theta trade-off.
+
+Regenerates the A3 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_a3_allq_theta_ablation(run_experiment_bench):
+    result = run_experiment_bench("A3")
+    assert result.experiment_id == "A3"

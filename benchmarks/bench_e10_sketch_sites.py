@@ -1,0 +1,10 @@
+"""Benchmark E10: small-space sketch-backed site variants.
+
+Regenerates the E10 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e10_sketch_sites(run_experiment_bench):
+    result = run_experiment_bench("E10")
+    assert result.experiment_id == "E10"

@@ -1,0 +1,10 @@
+"""Benchmark E11: section 5 randomized sampling crossover.
+
+Regenerates the E11 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e11_sampling(run_experiment_bench):
+    result = run_experiment_bench("E11")
+    assert result.experiment_id == "E11"

@@ -1,0 +1,10 @@
+"""Benchmark E12: one-shot vs continuous Theta(log n) gap.
+
+Regenerates the E12 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e12_oneshot_gap(run_experiment_bench):
+    result = run_experiment_bench("E12")
+    assert result.experiment_id == "E12"

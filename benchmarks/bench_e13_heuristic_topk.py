@@ -1,0 +1,10 @@
+"""Benchmark E13: heuristic top-k monitoring vs worst-case-optimal tracking.
+
+Regenerates the E13 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e13_heuristic_topk(run_experiment_bench):
+    result = run_experiment_bench("E13")
+    assert result.experiment_id == "E13"

@@ -1,0 +1,10 @@
+"""Benchmark E1: Theorem 2.1 - heavy-hitter cost vs n (log n shape).
+
+Regenerates the E1 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e1_hh_vs_n(run_experiment_bench):
+    result = run_experiment_bench("E1")
+    assert result.experiment_id == "E1"

@@ -1,0 +1,10 @@
+"""Benchmark E2: Theorem 2.1 - heavy-hitter cost linear in k and 1/eps.
+
+Regenerates the E2 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e2_hh_vs_k_eps(run_experiment_bench):
+    result = run_experiment_bench("E2")
+    assert result.experiment_id == "E2"

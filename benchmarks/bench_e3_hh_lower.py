@@ -1,0 +1,10 @@
+"""Benchmark E3: Theorem 2.4 - lower-bound constructions (Lemmas 2.2 + 2.3).
+
+Regenerates the E3 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e3_hh_lower(run_experiment_bench):
+    result = run_experiment_bench("E3")
+    assert result.experiment_id == "E3"

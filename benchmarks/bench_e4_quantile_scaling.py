@@ -1,0 +1,10 @@
+"""Benchmark E4: Theorem 3.1 - quantile cost O(k/eps log n).
+
+Regenerates the E4 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e4_quantile_scaling(run_experiment_bench):
+    result = run_experiment_bench("E4")
+    assert result.experiment_id == "E4"

@@ -1,0 +1,10 @@
+"""Benchmark E5: Theorem 3.2 - median lower-bound construction.
+
+Regenerates the E5 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e5_median_lower(run_experiment_bench):
+    result = run_experiment_bench("E5")
+    assert result.experiment_id == "E5"

@@ -1,0 +1,10 @@
+"""Benchmark E6: Theorem 4.1 - all-quantile cost scaling.
+
+Regenerates the E6 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e6_allq_scaling(run_experiment_bench):
+    result = run_experiment_bench("E6")
+    assert result.experiment_id == "E6"

@@ -1,0 +1,10 @@
+"""Benchmark E7: headline separation vs Cormode et al. 2005.
+
+Regenerates the E7 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e7_vs_cgmr05(run_experiment_bench):
+    result = run_experiment_bench("E7")
+    assert result.experiment_id == "E7"

@@ -1,0 +1,10 @@
+"""Benchmark E8: Figure 1 - tree structural invariants.
+
+Regenerates the E8 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e8_tree_structure(run_experiment_bench):
+    result = run_experiment_bench("E8")
+    assert result.experiment_id == "E8"

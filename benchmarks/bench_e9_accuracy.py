@@ -1,0 +1,10 @@
+"""Benchmark E9: at-all-times eps-correctness audit.
+
+Regenerates the E9 table from DESIGN.md / EXPERIMENTS.md; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the table.
+"""
+
+
+def test_e9_accuracy(run_experiment_bench):
+    result = run_experiment_bench("E9")
+    assert result.experiment_id == "E9"

@@ -1,0 +1,99 @@
+"""Micro-benchmarks: per-item processing throughput of each protocol.
+
+These are not paper claims (the paper measures communication, not wall
+clock) but keep the simulator's Python-level costs visible — the repro
+band notes stream-throughput is the slow part of a Python build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.sketches.gk import GKQuantileSketch
+from repro.sketches.spacesaving import SpaceSavingSketch
+from repro.structures.fenwick import FenwickTree
+from repro.workloads import make_stream, round_robin_partitioner, zipf_stream
+
+UNIVERSE = 1 << 14
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream(
+        zipf_stream, round_robin_partitioner, N, UNIVERSE, 4, seed=0, skew=1.2
+    )
+
+
+def _params():
+    return TrackingParams(num_sites=4, epsilon=0.05, universe_size=UNIVERSE)
+
+
+def test_heavy_hitter_throughput(benchmark, stream):
+    def run():
+        protocol = HeavyHitterProtocol(_params())
+        protocol.process_stream(stream)
+        return protocol.stats.words
+
+    words = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert words > 0
+
+
+def test_quantile_throughput(benchmark, stream):
+    def run():
+        protocol = QuantileProtocol(_params(), phi=0.5)
+        protocol.process_stream(stream)
+        return protocol.stats.words
+
+    words = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert words > 0
+
+
+def test_all_quantiles_throughput(benchmark, stream):
+    def run():
+        protocol = AllQuantilesProtocol(_params())
+        protocol.process_stream(stream)
+        return protocol.stats.words
+
+    words = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert words > 0
+
+
+def test_spacesaving_insert_throughput(benchmark, stream):
+    items = [item for _site, item in stream]
+
+    def run():
+        sketch = SpaceSavingSketch(0.01)
+        for item in items:
+            sketch.insert(item)
+        return sketch.count
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == N
+
+
+def test_gk_insert_throughput(benchmark, stream):
+    items = [item for _site, item in stream][: N // 2]
+
+    def run():
+        sketch = GKQuantileSketch(0.01)
+        for item in items:
+            sketch.insert(item)
+        return sketch.count
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == len(items)
+
+
+def test_fenwick_update_throughput(benchmark, stream):
+    items = [item for _site, item in stream]
+
+    def run():
+        tree = FenwickTree(UNIVERSE)
+        for item in items:
+            tree.add(item)
+        return tree.total
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == N

@@ -1,0 +1,30 @@
+"""Benchmark helpers: run an experiment once under pytest-benchmark and
+print its claim-vs-measured table into the benchmark report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.fixture
+def run_experiment_bench(benchmark, capsys):
+    """Run one experiment exactly once under the benchmark timer and emit
+    its rendered table (visible with ``pytest -s``)."""
+
+    def runner(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"quick": True},
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        assert result.rows, f"{experiment_id} produced no rows"
+        return result
+
+    return runner

@@ -1,0 +1,54 @@
+"""Visualizing when the protocols actually talk.
+
+The paper's cost bounds come from a round structure: rebuild bursts at
+geometrically spaced stream positions with a trickle of counter updates in
+between. This example replays the same stream through all three protocols
+plus the naive baseline and prints a words-per-interval sparkline for each,
+making that structure visible.
+
+Run:  python examples/communication_timeline.py
+"""
+
+from repro import (
+    AllQuantilesProtocol,
+    HeavyHitterProtocol,
+    NaiveForwardProtocol,
+    QuantileProtocol,
+    TrackingParams,
+)
+from repro.harness.timeline import record_timeline, render_timeline
+from repro.workloads import make_stream, round_robin_partitioner, zipf_stream
+
+UNIVERSE = 1 << 16
+K = 8
+N = 60_000
+
+
+def main() -> None:
+    stream = make_stream(
+        zipf_stream, round_robin_partitioner, N, UNIVERSE, K, seed=1, skew=1.2
+    )
+    protocols = [
+        ("heavy hitters  (eps=0.02)", HeavyHitterProtocol(
+            TrackingParams(K, 0.02, UNIVERSE))),
+        ("median         (eps=0.02)", QuantileProtocol(
+            TrackingParams(K, 0.02, UNIVERSE), phi=0.5)),
+        ("all quantiles  (eps=0.05)", AllQuantilesProtocol(
+            TrackingParams(K, 0.05, UNIVERSE))),
+        ("naive forward", NaiveForwardProtocol(
+            TrackingParams(K, 0.02, UNIVERSE))),
+    ]
+    for label, protocol in protocols:
+        points = record_timeline(protocol, stream, samples=72)
+        print(f"-- {label}")
+        print(render_timeline(points))
+        print()
+    print(
+        "Note the geometric spacing of the tracking protocols' bursts\n"
+        "(round rebuilds every time |A| grows by a constant factor) against\n"
+        "the naive baseline's flat 2-words-per-item wall."
+    )
+
+
+if __name__ == "__main__":
+    main()

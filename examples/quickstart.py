@@ -1,0 +1,56 @@
+"""Quickstart: the three tracking protocols in thirty lines each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AllQuantilesProtocol,
+    HeavyHitterProtocol,
+    QuantileProtocol,
+    TrackingParams,
+)
+from repro.workloads import make_stream, round_robin_partitioner, zipf_stream
+
+UNIVERSE = 1 << 16
+K = 8  # remote sites
+EPS = 0.02  # approximation error
+N = 50_000  # stream length
+
+
+def main() -> None:
+    # A Zipf-skewed stream split across K sites.
+    stream = make_stream(
+        zipf_stream, round_robin_partitioner, N, UNIVERSE, K, seed=0, skew=1.2
+    )
+
+    # -- 1. Heavy hitters (Theorem 2.1) ----------------------------------
+    hh = HeavyHitterProtocol(TrackingParams(K, EPS, UNIVERSE))
+    hh.process_stream(stream)
+    print("phi=0.05 heavy hitters:", sorted(hh.heavy_hitters(phi=0.05)))
+    print(
+        f"  communication: {hh.stats.messages:,} messages, "
+        f"{hh.stats.words:,} words (naive forwarding would be {2 * N:,})"
+    )
+
+    # -- 2. A single quantile: the median (Theorem 3.1) ------------------
+    median = QuantileProtocol(TrackingParams(K, EPS, UNIVERSE), phi=0.5)
+    median.process_stream(stream)
+    print(f"approximate median: {median.quantile()}")
+    print(
+        f"  communication: {median.stats.words:,} words across "
+        f"{median.rounds_completed} rounds"
+    )
+
+    # -- 3. All quantiles at once (Theorem 4.1) --------------------------
+    allq = AllQuantilesProtocol(TrackingParams(K, 0.05, UNIVERSE))
+    allq.process_stream(stream)
+    for phi in (0.25, 0.5, 0.9, 0.99):
+        print(f"  p{int(phi * 100):02d} = {allq.quantile(phi)}")
+    print(
+        f"  one structure answers every phi; {allq.stats.words:,} words, "
+        f"tree has {len(allq.tree.leaves())} leaves"
+    )
+
+
+if __name__ == "__main__":
+    main()

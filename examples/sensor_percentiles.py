@@ -1,0 +1,79 @@
+"""Sensor-network latency percentiles with distribution drift.
+
+The paper's other motivating application (sensor network monitoring): K
+gateways each collect latency readings; the base station must continuously
+expose an equal-height histogram — p50/p90/p99 at any moment — while the
+underlying latency distribution drifts (e.g. congestion building up).
+
+Uses the all-quantiles protocol (§4): one structure, every percentile,
+error ε at all times, O(k/ε·log n·log²(1/ε)) total words.
+
+Run:  python examples/sensor_percentiles.py
+"""
+
+import numpy as np
+
+from repro import AllQuantilesProtocol, ExactTracker, TrackingParams
+from repro.common.rng import make_rng
+
+UNIVERSE = 50_000  # latency in microseconds
+GATEWAYS = 6
+EPS = 0.05
+
+
+def latency_phase(rng, n, base_us, tail_scale):
+    """Log-normal-ish latencies around base_us with a heavy tail."""
+    body = rng.lognormal(mean=np.log(base_us), sigma=0.4, size=n)
+    spikes = rng.random(size=n) < 0.02
+    body[spikes] *= tail_scale
+    return np.clip(np.rint(body), 1, UNIVERSE).astype(np.int64)
+
+
+def main() -> None:
+    rng = make_rng(7)
+    protocol = AllQuantilesProtocol(
+        TrackingParams(num_sites=GATEWAYS, epsilon=EPS, universe_size=UNIVERSE)
+    )
+    oracle = ExactTracker(UNIVERSE)  # ground truth, for the demo printout
+    phases = [
+        ("healthy", 30_000, 800, 5),
+        ("congestion building", 30_000, 2_500, 8),
+        ("recovered", 40_000, 900, 5),
+    ]
+    print(f"{'phase':>22}  {'p50':>7} {'p90':>7} {'p99':>7}   (exact p99)")
+    for label, n, base_us, tail in phases:
+        readings = latency_phase(rng, n, base_us, tail)
+        gateways = rng.integers(0, GATEWAYS, size=n)
+        for gateway, reading in zip(gateways.tolist(), readings.tolist()):
+            protocol.process(gateway, reading)
+            oracle.update(reading)
+        p50, p90, p99 = (protocol.quantile(phi) for phi in (0.5, 0.9, 0.99))
+        print(
+            f"{label:>22}  {p50:>6}us {p90:>6}us {p99:>6}us   "
+            f"({oracle.quantile(0.99)}us)"
+        )
+    total = oracle.total
+    print(
+        f"\n{total:,} readings; {protocol.stats.words:,} words of "
+        f"communication ({protocol.stats.words / total:.4f} words/reading; "
+        f"naive forwarding = 2.0)"
+    )
+    print(
+        "tracking cost grows only logarithmically in the stream length "
+        "(Thm 4.1),\nso the per-reading cost keeps falling as the "
+        "deployment runs — naive stays at 2.0 forever."
+    )
+    worst = max(
+        oracle.quantile_rank_offset(protocol.quantile(phi), phi)
+        for phi in np.linspace(0.01, 0.99, 25)
+    )
+    print(f"worst rank error across 25 percentiles: {worst:.4f} (eps={EPS})")
+    print(
+        "(extreme-tail values like the p99 look coarse because the last "
+        "Theta(eps*m)\nitems share one tree leaf — the guarantee is on "
+        "*rank*, and it holds.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment has no ``wheel`` package (and no network to fetch one), so
+PEP 660 editable installs (``pip install -e .``) fail while building the
+editable wheel. ``python setup.py develop`` installs the same editable
+package using setuptools alone. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

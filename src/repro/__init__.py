@@ -1,0 +1,81 @@
+"""Reproduction of *Optimal Tracking of Distributed Heavy Hitters and
+Quantiles* (Ke Yi, Qin Zhang — PODS 2009).
+
+The package simulates the distributed streaming model (``k`` sites, one
+coordinator, instant two-way channels, word-level communication accounting)
+and implements the paper's three optimal tracking protocols plus the
+baselines and lower-bound constructions its analysis compares against.
+
+Quickstart::
+
+    from repro import HeavyHitterProtocol, TrackingParams
+
+    protocol = HeavyHitterProtocol(TrackingParams(num_sites=8, epsilon=0.02))
+    for site_id, item in arrivals:          # item in {1..universe_size}
+        protocol.process(site_id, item)
+    print(protocol.heavy_hitters(phi=0.05)) # eps-approximate, at all times
+    print(protocol.stats.words)             # total communication in words
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+claim-by-claim reproduction record.
+"""
+
+from repro.baselines import (
+    CGMR05Protocol,
+    DistributedCounter,
+    NaiveForwardProtocol,
+    PeriodicPollProtocol,
+    SamplingProtocol,
+    one_shot_heavy_hitters,
+    one_shot_quantile,
+)
+from repro.common import TrackingParams
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    UniverseError,
+)
+from repro.core import (
+    AllQuantilesProtocol,
+    HeavyHitterProtocol,
+    QuantileProtocol,
+)
+from repro.harness import ExperimentResult, run_experiment
+from repro.network import CommSnapshot, CommStats, Message
+from repro.oracle import (
+    ExactTracker,
+    audit_heavy_hitter_protocol,
+    audit_quantile_protocol,
+    audit_rank_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TrackingParams",
+    "HeavyHitterProtocol",
+    "QuantileProtocol",
+    "AllQuantilesProtocol",
+    "CGMR05Protocol",
+    "DistributedCounter",
+    "NaiveForwardProtocol",
+    "PeriodicPollProtocol",
+    "SamplingProtocol",
+    "one_shot_heavy_hitters",
+    "one_shot_quantile",
+    "ExactTracker",
+    "audit_heavy_hitter_protocol",
+    "audit_quantile_protocol",
+    "audit_rank_protocol",
+    "CommSnapshot",
+    "CommStats",
+    "Message",
+    "ExperimentResult",
+    "run_experiment",
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "UniverseError",
+    "__version__",
+]

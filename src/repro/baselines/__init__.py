@@ -1,0 +1,21 @@
+"""Comparison protocols: the prior work and naive strategies the paper's
+bounds are measured against."""
+
+from repro.baselines.cgmr05 import CGMR05Protocol
+from repro.baselines.counter import DistributedCounter
+from repro.baselines.naive import NaiveForwardProtocol
+from repro.baselines.oneshot import one_shot_heavy_hitters, one_shot_quantile
+from repro.baselines.polling import PeriodicPollProtocol
+from repro.baselines.sampling import SamplingProtocol
+from repro.baselines.topk import TopKHeuristicProtocol
+
+__all__ = [
+    "TopKHeuristicProtocol",
+    "CGMR05Protocol",
+    "DistributedCounter",
+    "NaiveForwardProtocol",
+    "one_shot_heavy_hitters",
+    "one_shot_quantile",
+    "PeriodicPollProtocol",
+    "SamplingProtocol",
+]

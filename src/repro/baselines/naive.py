@@ -1,0 +1,89 @@
+"""Naive baseline: forward every arrival to the coordinator.
+
+Exact answers, communication ``Θ(n)`` words — the strategy the paper's
+``O(k/ε · log n)`` protocols are ``n/(k/ε·log n)`` times cheaper than (and
+the right choice when ``n`` is small, as the paper notes in §1).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.common.validation import require_phi
+from repro.network.message import Message
+from repro.network.protocol import ContinuousTrackingProtocol, Coordinator, Site
+from repro.oracle.exact import ExactTracker
+
+_MSG_ITEM = "naive.item"
+
+
+class _NaiveSite(Site):
+    def observe(self, item: int) -> None:
+        self.send(Message(_MSG_ITEM, item))
+
+
+class _NaiveCoordinator(Coordinator):
+    def __init__(self, network, universe_size: int) -> None:
+        super().__init__(network)
+        self.tracker = ExactTracker(universe_size)
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        self.tracker.update(int(message.payload))
+
+
+class NaiveForwardProtocol(ContinuousTrackingProtocol):
+    """Every item crosses the network; the coordinator is omniscient."""
+
+    def _build(self) -> None:
+        self._sites = [
+            _NaiveSite(site_id, self.network)
+            for site_id in range(self.params.num_sites)
+        ]
+        self._coordinator = _NaiveCoordinator(
+            self.network, self.params.universe_size
+        )
+        self.network.bind(self._coordinator, self._sites)
+
+    def _site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        # Warm-up items were already forwarded; replay them into the tracker.
+        for items in per_site_items:
+            for item in items:
+                self._coordinator.tracker.update(item)
+
+    # -- queries (all exact) -----------------------------------------------
+
+    def heavy_hitters(self, phi: float) -> set[int]:
+        """Exact φ-heavy hitters."""
+        require_phi(phi)
+        if self.in_warmup:
+            total = max(1, self.items_processed)
+            return {
+                item
+                for item, cnt in self._warmup_counts.items()
+                if cnt >= phi * total
+            }
+        return self._coordinator.tracker.heavy_hitters(phi)
+
+    def quantile(self, phi: float = 0.5) -> int:
+        """Exact φ-quantile."""
+        require_phi(phi)
+        if self.in_warmup:
+            ordered = sorted(
+                item
+                for item, cnt in self._warmup_counts.items()
+                for _ in range(cnt)
+            )
+            return ordered[min(len(ordered) - 1, int(phi * len(ordered)))]
+        return self._coordinator.tracker.quantile(phi)
+
+    def rank(self, item: int) -> int:
+        """Exact count of items ``≤ item``."""
+        if self.in_warmup:
+            return sum(
+                cnt
+                for value, cnt in self._warmup_counts.items()
+                if value <= item
+            )
+        return self._coordinator.tracker.rank_leq(item)

@@ -1,0 +1,96 @@
+"""One-shot computation in the classical communication model.
+
+The paper's §1 observes that a *single* computation of the φ-heavy hitters
+or a φ-quantile over distributed data costs only ``O(k/ε)`` — continuous
+tracking is what adds the ``Θ(log n)`` factor (experiment E12 measures the
+gap). These functions perform the one-shot computation and report its cost.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+
+from repro.common.validation import require_epsilon, require_phi
+from repro.structures.intervals import equi_depth_separators
+
+
+def _word_cost(num_summaries: int, summary_words: int) -> int:
+    """k uplinked summaries of the given size (plus one request word each)."""
+    return num_summaries * (summary_words + 1)
+
+
+def one_shot_quantile(
+    per_site_items: list[list[int]], phi: float, epsilon: float
+) -> tuple[int, int]:
+    """One-shot ε-approximate φ-quantile.
+
+    Every site ships an ``ε/2``-accurate equi-depth summary (``O(1/ε)``
+    words); the coordinator merges. Returns ``(answer, words_used)``.
+    """
+    require_phi(phi)
+    require_epsilon(epsilon)
+    summaries: list[tuple[int, list[int]]] = []
+    words = 0
+    total = 0
+    for items in per_site_items:
+        ordered = sorted(items)
+        total += len(ordered)
+        bucket = max(1, int(len(ordered) * epsilon / 2))
+        separators = equi_depth_separators(ordered, bucket)
+        summaries.append((bucket, separators))
+        words += len(separators) + 2
+    if total == 0:
+        raise ValueError("one-shot quantile of an empty input")
+
+    def est_rank(value: int) -> int:
+        return sum(
+            bucket * bisect.bisect_right(separators, value)
+            for bucket, separators in summaries
+        )
+
+    target = phi * total
+    candidates = sorted({sep for _b, seps in summaries for sep in seps})
+    if not candidates:
+        # Degenerate: every site too small for a bucket; ship raw minima.
+        flattened = sorted(item for items in per_site_items for item in items)
+        return flattened[min(len(flattened) - 1, int(phi * total))], words
+    answer = min(candidates, key=lambda v: abs(est_rank(v) - target))
+    return answer, words
+
+
+def one_shot_heavy_hitters(
+    per_site_items: list[list[int]], phi: float, epsilon: float
+) -> tuple[set[int], int]:
+    """One-shot ε-approximate φ-heavy hitters.
+
+    Every site ships its local items with frequency ≥ ``ε/2`` of its local
+    count (``O(1/ε)`` candidates) plus its local count; the coordinator
+    re-collects exact counts for the candidate set only.
+    Returns ``(hitters, words_used)``.
+    """
+    require_phi(phi, epsilon)
+    require_epsilon(epsilon)
+    counters = [Counter(items) for items in per_site_items]
+    totals = [sum(counter.values()) for counter in counters]
+    total = sum(totals)
+    if total == 0:
+        return set(), 0
+    words = 0
+    candidates: set[int] = set()
+    for counter, local_total in zip(counters, totals):
+        local = {
+            item
+            for item, cnt in counter.items()
+            if cnt >= epsilon / 2 * max(1, local_total)
+        }
+        candidates |= local
+        words += len(local) + 2
+    # Second pass: exact global counts of candidates (k more messages).
+    hitters: set[int] = set()
+    for item in candidates:
+        exact = sum(counter[item] for counter in counters)
+        if exact >= (phi - epsilon / 2) * total:
+            hitters.add(item)
+    words += len(candidates) * len(per_site_items) + len(per_site_items)
+    return hitters, words

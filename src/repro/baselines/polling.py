@@ -1,0 +1,143 @@
+"""Periodic polling baseline (the "pull" paradigm the paper's §1 contrasts).
+
+The coordinator polls every site for a local summary every ``period``
+arrivals it learns about. Answers between polls are stale: this baseline
+demonstrates why the push-based protocols exist — to meet the at-all-times
+guarantee you must poll so often that communication explodes.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.common.params import TrackingParams
+from repro.common.validation import require_phi, require_positive
+from repro.core.localstore import ExactLocalStore
+from repro.network.message import Message
+from repro.network.protocol import ContinuousTrackingProtocol, Coordinator, Site
+
+_MSG_TICK = "poll.tick"
+_REQ_SUMMARY = "poll.summary"
+
+
+class _PollSite(Site):
+    def __init__(self, site_id, network, params: TrackingParams) -> None:
+        super().__init__(site_id, network)
+        self._params = params
+        self._store = ExactLocalStore()
+
+    def bootstrap(self, items: list[int]) -> None:
+        for item in items:
+            self._store.insert(item)
+
+    def observe(self, item: int) -> None:
+        self._store.insert(item)
+        # One-word heartbeat so the coordinator can count arrivals; the
+        # "poll" paradigm needs some notion of time passing.
+        self.send(Message(_MSG_TICK, None))
+
+    def on_request(self, message: Message) -> Message:
+        if message.kind == _REQ_SUMMARY:
+            bucket = max(1, int(self._store.total * self._params.epsilon / 4))
+            count, bucket, separators = self._store.summary(
+                1, self._params.universe_size + 1, bucket
+            )
+            return Message(_REQ_SUMMARY, (count, bucket, separators))
+        return super().on_request(message)
+
+
+class _PollCoordinator(Coordinator):
+    def __init__(self, network, num_sites: int, period: int) -> None:
+        super().__init__(network)
+        self._period = period
+        self._ticks = 0
+        self.polls = 0
+        self._summaries: list[tuple[int, int, list[int]]] = [
+            (0, 1, []) for _ in range(num_sites)
+        ]
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        self._ticks += 1
+        if self._ticks % self._period == 0:
+            self.poll()
+
+    def poll(self) -> None:
+        replies = self.network.request_all(Message(_REQ_SUMMARY))
+        self._summaries = [tuple(reply.payload) for reply in replies]
+        self.polls += 1
+
+    def estimate_rank(self, item: int) -> int:
+        return sum(
+            bucket * bisect.bisect_right(separators, item)
+            for _count, bucket, separators in self._summaries
+        )
+
+    @property
+    def estimated_total(self) -> int:
+        return sum(count for count, _b, _s in self._summaries)
+
+    def estimate_quantile(self, phi: float) -> int:
+        target = phi * self.estimated_total
+        candidates = sorted(
+            {sep for _c, _b, seps in self._summaries for sep in seps}
+        )
+        if not candidates:
+            return 1
+        return min(candidates, key=lambda v: abs(self.estimate_rank(v) - target))
+
+
+class PeriodicPollProtocol(ContinuousTrackingProtocol):
+    """Pull-based tracking: fresh answers only every ``period`` arrivals."""
+
+    def __init__(self, params: TrackingParams, period: int = 1000) -> None:
+        require_positive(period, "period")
+        self._period = period
+        super().__init__(params)
+
+    def _build(self) -> None:
+        self._sites = [
+            _PollSite(site_id, self.network, self.params)
+            for site_id in range(self.params.num_sites)
+        ]
+        self._coordinator = _PollCoordinator(
+            self.network, self.params.num_sites, self._period
+        )
+        self.network.bind(self._coordinator, self._sites)
+
+    def _site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        for site, items in zip(self._sites, per_site_items):
+            site.bootstrap(items)
+        self._coordinator.poll()
+
+    # -- queries (stale up to one period) ----------------------------------
+
+    def quantile(self, phi: float) -> int:
+        """Approximate φ-quantile as of the last poll."""
+        require_phi(phi)
+        if self.in_warmup:
+            ordered = sorted(
+                value
+                for value, cnt in self._warmup_counts.items()
+                for _ in range(cnt)
+            )
+            return ordered[min(len(ordered) - 1, int(phi * len(ordered)))]
+        return self._coordinator.estimate_quantile(phi)
+
+    def rank(self, item: int) -> int:
+        """Estimated count of items ``≤ item`` as of the last poll."""
+        if self.in_warmup:
+            return sum(
+                cnt
+                for value, cnt in self._warmup_counts.items()
+                if value <= item
+            )
+        return self._coordinator.estimate_rank(item)
+
+    @property
+    def polls(self) -> int:
+        if self.in_warmup:
+            return 0
+        return self._coordinator.polls

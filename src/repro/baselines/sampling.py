@@ -1,0 +1,200 @@
+"""§5 randomized baseline: coordinator-side Bernoulli sampling.
+
+The paper observes that random sampling tracks both heavy hitters and
+quantiles with cost ``O((k + 1/ε²) · polylog(n, k, 1/ε))``, beating the
+deterministic ``Ω(k/ε · log n)`` lower bound when ``ε = ω(1/k)``
+(experiment E11 locates the crossover).
+
+Protocol: every site forwards each arrival with probability ``p``; when the
+coordinator's sample exceeds twice its ``Θ(1/ε²)`` target it halves ``p``,
+thins its sample by an independent coin per element (keeping the sample a
+uniform Bernoulli-``p`` sample of the whole stream), and broadcasts the new
+rate. Expected forwards per halving round: ``O(1/ε²)``; rounds: ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.params import TrackingParams
+from repro.common.rng import make_rng, spawn_rngs
+from repro.common.validation import require_phi
+from repro.network.message import Message
+from repro.network.protocol import ContinuousTrackingProtocol, Coordinator, Site
+from repro.structures.fenwick import FenwickTree
+
+_MSG_SAMPLE = "smp.item"
+_MSG_RATE = "smp.rate"
+
+DEFAULT_SAMPLE_CONSTANT = 16.0
+
+
+class _SamplingSite(Site):
+    def __init__(self, site_id, network, rng: np.random.Generator) -> None:
+        super().__init__(site_id, network)
+        self._rng = rng
+        self.rate = 1.0
+
+    def observe(self, item: int) -> None:
+        if self._rng.random() < self.rate:
+            self.send(Message(_MSG_SAMPLE, item))
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == _MSG_RATE:
+            self.rate = float(message.payload)
+            return
+        super().on_message(message)
+
+
+class _SamplingCoordinator(Coordinator):
+    def __init__(
+        self,
+        network,
+        universe_size: int,
+        target_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(network)
+        self._rng = rng
+        self._target = target_size
+        self.rate = 1.0
+        self.sample = FenwickTree(universe_size)
+        self.halvings = 0
+
+    def absorb(self, item: int) -> None:
+        """Add one sampled item, thinning + rebroadcasting as needed."""
+        self.sample.add(item)
+        if self.sample.total >= 2 * self._target and self.rate > 1e-12:
+            self._halve()
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        if message.kind != _MSG_SAMPLE:
+            raise ValueError(f"unexpected message kind {message.kind!r}")
+        self.absorb(int(message.payload))
+
+    def _halve(self) -> None:
+        self.rate /= 2
+        self.halvings += 1
+        # Independent fair coin per sample element keeps the sample a
+        # Bernoulli(rate) sample of the full stream.
+        for value in list(self._iter_sample()):
+            if self._rng.random() < 0.5:
+                self.sample.remove(value)
+        self.network.broadcast(Message(_MSG_RATE, self.rate))
+
+    def _iter_sample(self):
+        """Yield each sampled element (with multiplicity)."""
+        remaining = self.sample.total
+        rank = 1
+        while rank <= remaining:
+            yield self.sample.select(rank)
+            rank += 1
+
+    @property
+    def estimated_total(self) -> float:
+        return self.sample.total / self.rate
+
+
+class SamplingProtocol(ContinuousTrackingProtocol):
+    """Randomized tracking of heavy hitters and quantiles via sampling.
+
+    Guarantees are probabilistic: with the default ``Θ(1/ε²)`` sample the
+    error exceeds ``ε`` only with small constant probability per query.
+    """
+
+    def __init__(
+        self,
+        params: TrackingParams,
+        seed: int = 0,
+        sample_constant: float = DEFAULT_SAMPLE_CONSTANT,
+    ) -> None:
+        if sample_constant <= 0:
+            raise ValueError("sample_constant must be positive")
+        self._seed = seed
+        self._sample_constant = sample_constant
+        super().__init__(params)
+
+    def _build(self) -> None:
+        rngs = spawn_rngs(self._seed, self.params.num_sites + 1)
+        target = max(
+            8, int(self._sample_constant / self.params.epsilon**2)
+        )
+        self._sites = [
+            _SamplingSite(site_id, self.network, rngs[site_id])
+            for site_id in range(self.params.num_sites)
+        ]
+        self._coordinator = _SamplingCoordinator(
+            self.network, self.params.universe_size, target, rngs[-1]
+        )
+        self.network.bind(self._coordinator, self._sites)
+
+    def _site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        # Warm-up items were forwarded verbatim: absorb them all (rate 1).
+        for items in per_site_items:
+            for item in items:
+                self._coordinator.absorb(item)
+
+    # -- queries (probabilistic guarantees) ---------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        """Current coordinator-side sample size."""
+        if self.in_warmup:
+            return self.items_processed
+        return self._coordinator.sample.total
+
+    @property
+    def estimated_total(self) -> float:
+        """Unbiased estimate of ``|A|``."""
+        if self.in_warmup:
+            return float(self.items_processed)
+        return self._coordinator.estimated_total
+
+    def heavy_hitters(self, phi: float) -> set[int]:
+        """Items whose sampled frequency clears ``(φ − ε/2)`` of the sample."""
+        require_phi(phi)
+        if self.in_warmup:
+            total = max(1, self.items_processed)
+            return {
+                item
+                for item, cnt in self._warmup_counts.items()
+                if cnt >= phi * total
+            }
+        sample = self._coordinator.sample
+        if sample.total == 0:
+            return set()
+        cutoff = (phi - self.params.epsilon / 2) * sample.total
+        hitters: set[int] = set()
+        rank = 1
+        while rank <= sample.total:
+            value = sample.select(rank)
+            count = sample.count(value)
+            if count >= cutoff:
+                hitters.add(value)
+            rank += count
+        return hitters
+
+    def quantile(self, phi: float) -> int:
+        """Sample order statistic at ``φ``."""
+        require_phi(phi)
+        if self.in_warmup:
+            ordered = sorted(
+                value
+                for value, cnt in self._warmup_counts.items()
+                for _ in range(cnt)
+            )
+            return ordered[min(len(ordered) - 1, int(phi * len(ordered)))]
+        return self._coordinator.sample.quantile(phi)
+
+    def rank(self, item: int) -> float:
+        """Estimated count of items ``≤ item`` (scaled from the sample)."""
+        if self.in_warmup:
+            return sum(
+                cnt
+                for value, cnt in self._warmup_counts.items()
+                if value <= item
+            )
+        return self._coordinator.sample.prefix_sum(item) / self._coordinator.rate

@@ -1,0 +1,177 @@
+"""A Babcock–Olston-style top-k monitoring heuristic.
+
+The paper's §1 recalls that before this work, distributed heavy-hitter
+tracking was handled by heuristics, citing Babcock & Olston's distributed
+top-k monitoring [4] (adapted to heavy hitters in [16]). This module
+implements the essence of that approach so experiments can contrast
+"heuristic, great on stable inputs, no worst-case guarantee" with the
+paper's worst-case-optimal protocol:
+
+* the coordinator caches a candidate top set and installs *arithmetic
+  constraints* at the sites: per-candidate slack budgets derived from the
+  last resolution;
+* sites stay silent while every tracked item's local drift is within its
+  slack; a breach triggers a global *resolution* (poll all sites, recompute
+  the exact top set, re-distribute slack).
+
+On slowly-changing streams resolutions are rare and the cost is tiny; on
+adversarial streams (frequent rank flips near the boundary) resolutions
+fire constantly and the answer can be stale between breaches — exactly the
+behaviour that motivated worst-case analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.common.params import TrackingParams
+from repro.common.validation import require_positive
+from repro.network.message import Message
+from repro.network.protocol import ContinuousTrackingProtocol, Coordinator, Site
+
+_MSG_BREACH = "topk.breach"
+_REQ_COUNTS = "topk.counts"
+_MSG_INSTALL = "topk.install"
+
+
+class _TopKSite(Site):
+    """Tracks local drift of watched items against slack budgets."""
+
+    def __init__(self, site_id, network) -> None:
+        super().__init__(site_id, network)
+        self._counts: Counter[int] = Counter()
+        self._watched: dict[int, int] = {}  # item -> slack budget
+        self._baseline: dict[int, int] = {}  # item -> count at install
+        self._untracked_slack = 0
+        self._untracked_baseline: Counter[int] = Counter()
+
+    def bootstrap(self, items: list[int]) -> None:
+        self._counts.update(items)
+
+    def observe(self, item: int) -> None:
+        self._counts[item] += 1
+        if item in self._watched:
+            drift = self._counts[item] - self._baseline[item]
+            if drift > self._watched[item]:
+                self.send(Message(_MSG_BREACH, item))
+            return
+        drift = self._counts[item] - self._untracked_baseline[item]
+        if drift > self._untracked_slack:
+            self.send(Message(_MSG_BREACH, item))
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == _MSG_INSTALL:
+            watched, slack, untracked_slack = message.payload
+            self._watched = {int(item): int(slack) for item in watched}
+            self._baseline = {
+                int(item): self._counts[int(item)] for item in watched
+            }
+            self._untracked_slack = int(untracked_slack)
+            self._untracked_baseline = Counter(self._counts)
+            return
+        super().on_message(message)
+
+    def on_request(self, message: Message) -> Message:
+        if message.kind == _REQ_COUNTS:
+            # Reply with the candidates' exact counts plus a margin of local
+            # top items beyond the candidate set, so boundary items just
+            # outside the cached top set are not undercounted in the merge.
+            candidates = message.payload
+            top_local = self._counts.most_common(len(candidates) + 8)
+            merged = {int(item): self._counts[int(item)] for item in candidates}
+            merged.update({item: cnt for item, cnt in top_local})
+            return Message(_REQ_COUNTS, merged)
+        return super().on_request(message)
+
+
+class _TopKCoordinator(Coordinator):
+    """Caches the top set; resolves on any breach."""
+
+    def __init__(self, network, k_items: int, slack_fraction: float) -> None:
+        super().__init__(network)
+        self._k_items = k_items
+        self._slack_fraction = slack_fraction
+        self.top_items: list[tuple[int, int]] = []
+        self.resolutions = 0
+        self._total_estimate = 0
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        if message.kind != _MSG_BREACH:
+            raise ValueError(f"unexpected message kind {message.kind!r}")
+        self.resolve()
+
+    def resolve(self) -> None:
+        """Global poll: recompute the exact top set, re-install slack."""
+        self.resolutions += 1
+        candidates = [item for item, _cnt in self.top_items]
+        replies = self.network.request_all(Message(_REQ_COUNTS, candidates))
+        totals: Counter[int] = Counter()
+        for reply in replies:
+            for item, count in reply.payload.items():
+                totals[int(item)] += int(count)
+        self.top_items = totals.most_common(self._k_items)
+        self._total_estimate = sum(totals.values())
+        if len(self.top_items) > self._k_items - 1 and len(totals) > self._k_items:
+            boundary_gap = (
+                self.top_items[-1][1]
+                - totals.most_common(self._k_items + 1)[-1][1]
+            )
+        else:
+            boundary_gap = self.top_items[-1][1] if self.top_items else 1
+        slack = max(1, int(boundary_gap * self._slack_fraction))
+        watched = [item for item, _cnt in self.top_items]
+        self.network.broadcast(Message(_MSG_INSTALL, (watched, slack, slack)))
+
+
+class TopKHeuristicProtocol(ContinuousTrackingProtocol):
+    """Heuristic continuous top-k monitoring (Babcock–Olston flavour).
+
+    No worst-case guarantee: between breaches the cached top set can be
+    stale by up to the installed slack. Cheap on stable streams, degrades
+    to constant resolution under adversarial rank churn (experiment E13).
+    """
+
+    def __init__(
+        self,
+        params: TrackingParams,
+        k_items: int = 10,
+        slack_fraction: float = 0.5,
+    ) -> None:
+        require_positive(k_items, "k_items")
+        require_positive(slack_fraction, "slack_fraction")
+        self._k_items = k_items
+        self._slack_fraction = slack_fraction
+        super().__init__(params)
+
+    def _build(self) -> None:
+        self._sites = [
+            _TopKSite(site_id, self.network)
+            for site_id in range(self.params.num_sites)
+        ]
+        self._coordinator = _TopKCoordinator(
+            self.network, self._k_items, self._slack_fraction
+        )
+        self.network.bind(self._coordinator, self._sites)
+
+    def _site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        for site, items in zip(self._sites, per_site_items):
+            site.bootstrap(items)
+        self._coordinator.resolve()
+
+    # -- queries ---------------------------------------------------------
+
+    def top_k(self) -> list[tuple[int, int]]:
+        """The cached ``(item, count)`` top list (possibly stale)."""
+        if self.in_warmup:
+            return Counter(self._warmup_counts).most_common(self._k_items)
+        return list(self._coordinator.top_items)
+
+    @property
+    def resolutions(self) -> int:
+        """Number of global resolution polls so far."""
+        if self.in_warmup:
+            return 0
+        return self._coordinator.resolutions

@@ -1,0 +1,56 @@
+"""Command-line entry point: ``python -m repro [list|all|E<k>...]``.
+
+Runs any of the DESIGN.md experiments and prints its claim-vs-measured
+table. ``--full`` switches the larger (slower) parameter grids on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiment import run_experiment
+from repro.harness.registry import experiment_ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction experiments for 'Optimal Tracking of Distributed "
+            "Heavy Hitters and Quantiles' (Yi & Zhang, PODS 2009)"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment ids (e.g. E1 E7), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full (slow) parameter grids instead of quick ones",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    requested = [token.upper() for token in args.experiments]
+    if requested == ["LIST"]:
+        print("available experiments (see DESIGN.md for the index):")
+        for experiment_id in experiment_ids():
+            print(f"  {experiment_id}")
+        return 0
+    if requested == ["ALL"]:
+        requested = experiment_ids()
+    for experiment_id in requested:
+        result = run_experiment(experiment_id, quick=not args.full)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

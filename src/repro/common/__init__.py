@@ -1,0 +1,30 @@
+"""Shared utilities: exceptions, parameter objects, validation, and RNG plumbing."""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    UniverseError,
+)
+from repro.common.params import TrackingParams
+from repro.common.rng import make_rng, spawn_rngs
+from repro.common.validation import (
+    require_epsilon,
+    require_phi,
+    require_positive,
+    require_universe,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "ProtocolError",
+    "ReproError",
+    "UniverseError",
+    "TrackingParams",
+    "make_rng",
+    "spawn_rngs",
+    "require_epsilon",
+    "require_phi",
+    "require_positive",
+    "require_universe",
+]

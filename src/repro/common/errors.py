@@ -1,0 +1,29 @@
+"""Exception hierarchy for the library.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid protocol or experiment configuration (bad ``ε``, ``φ``, ``k``...)."""
+
+
+class UniverseError(ReproError):
+    """An item fell outside the declared universe ``{1..u}``."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated at runtime.
+
+    This indicates a bug in the protocol implementation (or a corrupted
+    simulation), never a user error; it is raised by internal self-checks.
+    """
+
+
+class CommunicationError(ReproError):
+    """A message was malformed or sent to an unknown endpoint."""

@@ -1,0 +1,46 @@
+"""Common parameter bundle shared by all tracking protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import (
+    require_epsilon,
+    require_site_count,
+    require_universe,
+)
+
+
+@dataclass(frozen=True)
+class TrackingParams:
+    """Configuration shared by every continuous-tracking protocol.
+
+    Attributes:
+        num_sites: ``k``, the number of remote sites.
+        epsilon: the approximation error ``ε`` in ``(0, 1)``.
+        universe_size: ``u``; items are integers in ``{1..u}``.
+    """
+
+    num_sites: int
+    epsilon: float
+    universe_size: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        require_site_count(self.num_sites)
+        require_epsilon(self.epsilon)
+        if self.universe_size < 1:
+            require_universe(1, self.universe_size)  # raises
+
+    @property
+    def k(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.num_sites
+
+    @property
+    def warmup_items(self) -> int:
+        """Items forwarded verbatim before the protocol state initialises.
+
+        The paper assumes the system starts once ``m = k/ε``; before that,
+        every arrival is simply relayed to the coordinator (§2.1).
+        """
+        return max(1, int(self.num_sites / self.epsilon))

@@ -1,0 +1,56 @@
+"""Parameter validation helpers shared by protocols and workloads.
+
+Each helper raises :class:`~repro.common.errors.ConfigurationError` with a
+message naming the offending parameter, so configuration mistakes surface
+immediately at construction time rather than deep inside a simulation.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError, UniverseError
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def require_epsilon(epsilon: float) -> None:
+    """Validate an approximation parameter ``ε`` in ``(0, 1)``."""
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon!r}")
+
+
+def require_phi(phi: float, epsilon: float | None = None) -> None:
+    """Validate a heavy-hitter/quantile fraction ``φ`` in ``[0, 1]``.
+
+    When ``epsilon`` is given, additionally require ``φ > ε`` — a φ-heavy
+    hitter query with ``φ ≤ ε`` is vacuous (every item qualifies within the
+    allowed error).
+    """
+    if not 0 <= phi <= 1:
+        raise ConfigurationError(f"phi must be in [0, 1], got {phi!r}")
+    if epsilon is not None and phi <= epsilon:
+        raise ConfigurationError(
+            f"phi must exceed epsilon for a meaningful query, got phi={phi!r} "
+            f"epsilon={epsilon!r}"
+        )
+
+
+def require_universe(item: int, universe_size: int) -> None:
+    """Raise unless ``item`` lies in the universe ``{1..universe_size}``."""
+    if not 1 <= item <= universe_size:
+        raise UniverseError(
+            f"item {item!r} outside universe [1, {universe_size}]"
+        )
+
+
+def require_site_count(k: int) -> None:
+    """Validate the number of remote sites (the paper assumes ``k ≥ 2``).
+
+    We accept ``k ≥ 1`` so the degenerate single-stream case can be tested,
+    but reject non-positive values.
+    """
+    if k < 1:
+        raise ConfigurationError(f"number of sites k must be >= 1, got {k!r}")

@@ -1,0 +1,12 @@
+"""The paper's tracking protocols: heavy hitters (§2), single quantile (§3),
+and all quantiles (§4)."""
+
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+
+__all__ = [
+    "AllQuantilesProtocol",
+    "HeavyHitterProtocol",
+    "QuantileProtocol",
+]

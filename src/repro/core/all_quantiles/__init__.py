@@ -1,0 +1,11 @@
+"""§4 — continuous tracking of *all* quantiles simultaneously.
+
+The coordinator maintains a binary tree over the universe (Figure 1) from
+which the rank of any ``x`` can be extracted with additive error ``ε|A|``;
+total communication ``O(k/ε · log n · log²(1/ε))`` (Theorem 4.1).
+"""
+
+from repro.core.all_quantiles.protocol import AllQuantilesProtocol
+from repro.core.all_quantiles.tree import QuantileTree, TreeNode
+
+__all__ = ["AllQuantilesProtocol", "QuantileTree", "TreeNode"]

@@ -1,0 +1,285 @@
+"""Coordinator-side state of the §4 all-quantiles protocol.
+
+Owns the Figure-1 tree. Partial-sum updates arrive as ``(node, amount)``
+pushes; the coordinator reacts by (a) starting a new round when ``|A|``
+doubles, (b) partially rebuilding the highest node whose splitting-element
+invariant ``su/4 ≤ sv ≤ 3su/4`` broke, and (c) splitting any leaf that
+outgrew ``(ε/2 − θ)m``. Every (re)build polls the sites for local
+equi-depth summaries of the affected range only, keeping each rebuild's
+cost proportional to the subtree's share of the stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.common.errors import ProtocolError
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles.messages import (
+    MSG_COUNT,
+    MSG_INSTALL,
+    REQ_RANGE_SUMMARY,
+    REQ_SUBTREE_COUNTS,
+)
+from repro.core.all_quantiles.tree import QuantileTree, TreeNode, height_bound
+from repro.core.quantile.coordinator import merge_rank_estimator
+from repro.network.message import Message
+from repro.network.protocol import Coordinator
+from repro.network.runtime import Network
+
+_SUMMARY_PARTS = 32
+
+
+class AllQuantilesCoordinator(Coordinator):
+    """Maintains the quantile tree and its three repair rules."""
+
+    def __init__(
+        self,
+        network: Network,
+        params: TrackingParams,
+        theta_scale: float = 1.0,
+    ) -> None:
+        super().__init__(network)
+        self._params = params
+        self._height_cap = height_bound(params.epsilon)
+        # theta = eps/(2h) per the paper; theta_scale is ablation A3's knob
+        # (larger theta = lazier count updates = cheaper but less accurate).
+        self._theta = theta_scale * params.epsilon / (2 * self._height_cap)
+        self.tree = QuantileTree(universe_size=params.universe_size)
+        self.round_base = 0
+        self.rounds_completed = 0
+        self.partial_rebuilds = 0
+        self.leaf_splits = 0
+
+    @property
+    def theta(self) -> float:
+        """Per-node count error budget ``θ = ε/(2h)`` (fraction of ``m``)."""
+        return self._theta
+
+    def _leaf_cap(self) -> int:
+        """Build-time leaf size target ``3εm/8``."""
+        return max(1, int(3 * self._params.epsilon * self.round_base / 8))
+
+    def _leaf_split_threshold(self) -> float:
+        return (self._params.epsilon / 2 - self._theta) * self.round_base
+
+    # -- building ---------------------------------------------------------
+
+    def full_rebuild(self) -> None:
+        """Start a new round: rebuild the whole tree from fresh summaries."""
+        self._rebuild(None)
+        self.rounds_completed += 1
+
+    def _rebuild(self, node_id: int | None) -> None:
+        """(Re)build the subtree at ``node_id`` (``None`` = the root)."""
+        if node_id is None:
+            lo, hi, parent_id, replaced_id = 1, self._params.universe_size + 1, -1, -1
+        else:
+            old = self.tree.node(node_id)
+            lo, hi, parent_id, replaced_id = old.lo, old.hi, old.parent, node_id
+        # Per-site bucket eps*m/(32k): total rank error eps*m/32, accurate at
+        # every depth of the subtree (the paper's eps' = eps*m/|A∩Iu| init).
+        bucket = max(
+            1,
+            int(
+                self._params.epsilon
+                * self.round_base
+                / (_SUMMARY_PARTS * self._params.k)
+            ),
+        )
+        replies = self.network.request_all(
+            Message(REQ_RANGE_SUMMARY, (lo, hi, bucket))
+        )
+        summaries = [tuple(reply.payload) for reply in replies]
+        total, candidates, est_rank = merge_rank_estimator(summaries)
+        if node_id is None:
+            if total <= 0:
+                raise ProtocolError("full rebuild with no items at any site")
+            self.round_base = total
+        # Remove the old subtree before allocating the replacement (on a
+        # full rebuild that is the entire previous tree).
+        if replaced_id >= 0:
+            self.tree.remove_subtree(replaced_id)
+        elif self.tree.root_id >= 0:
+            self.tree.remove_subtree(self.tree.root_id)
+        spec: list[tuple[int, int, int, int, int]] = []
+        new_root_id = self._build_range(
+            lo, hi, parent_id, candidates, est_rank, spec, depth=0
+        )
+        if (
+            replaced_id >= 0
+            and len(spec) == 1
+            and total >= self._leaf_cap()
+        ):
+            # We were asked to split/repair but found no usable separator
+            # (e.g. a single-value interval): suppress until the count doubles.
+            self.tree.node(new_root_id).suppress_until = 2 * max(1, total)
+        if parent_id < 0:
+            self.tree.root_id = new_root_id
+        else:
+            parent = self.tree.node(parent_id)
+            if parent.lo == lo:
+                parent.left = new_root_id
+            else:
+                parent.right = new_root_id
+        self.network.broadcast(
+            Message(MSG_INSTALL, (self.round_base, replaced_id, parent_id, spec))
+        )
+        self._collect_exact_counts(new_root_id)
+        if node_id is not None:
+            self.partial_rebuilds += 1
+
+    def _build_range(
+        self,
+        lo: int,
+        hi: int,
+        parent_id: int,
+        candidates: list[int],
+        est_rank,
+        spec: list[tuple[int, int, int, int, int]],
+        depth: int,
+    ) -> int:
+        """Recursively build ``[lo, hi)``; appends spec rows in preorder."""
+        node_id = self.tree.fresh_id()
+        row_index = len(spec)
+        spec.append((node_id, lo, hi, -1, -1))  # patched below if internal
+        count_est = est_rank(hi - 1) - est_rank(lo - 1)
+        separator = None
+        skewed = False
+        if (
+            count_est > self._leaf_cap()
+            and hi - lo >= 2
+            and depth < 3 * self._height_cap
+        ):
+            separator, skewed = self._choose_separator(
+                lo, hi, candidates, est_rank, count_est
+            )
+        if separator is None:
+            self.tree.add_node(
+                TreeNode(node_id=node_id, lo=lo, hi=hi, parent=parent_id)
+            )
+            return node_id
+        left_id = self._build_range(
+            lo, separator + 1, node_id, candidates, est_rank, spec, depth + 1
+        )
+        right_id = self._build_range(
+            separator + 1, hi, node_id, candidates, est_rank, spec, depth + 1
+        )
+        self.tree.add_node(
+            TreeNode(
+                node_id=node_id,
+                lo=lo,
+                hi=hi,
+                parent=parent_id,
+                left=left_id,
+                right=right_id,
+                skewed=skewed,
+            )
+        )
+        spec[row_index] = (node_id, lo, hi, left_id, right_id)
+        return node_id
+
+    def _choose_separator(
+        self, lo: int, hi: int, candidates: list[int], est_rank, count_est: int
+    ) -> tuple[int | None, bool]:
+        """Pick a splitting element for ``[lo, hi)``.
+
+        Prefers a balanced split (both sides non-empty, near the median —
+        the paper's case, which assumes distinct items). When ties
+        concentrate all mass on one side of every candidate, falls back to a
+        *skewed* split that shrinks the mass-carrying side's value range, so
+        repeated mass (a single hot value) still isolates into a narrow
+        leaf. Returns ``(separator, skewed)``; ``(None, False)`` means keep
+        this range as a leaf.
+        """
+        left_pos = bisect.bisect_left(candidates, lo)
+        right_pos = bisect.bisect_right(candidates, hi - 1)
+        nearby = candidates[left_pos:right_pos]
+        boundaries = {value for value in nearby if value <= hi - 2}
+        boundaries.update(
+            value - 1 for value in nearby if lo <= value - 1 <= hi - 2
+        )
+        if not boundaries:
+            return None, False
+        base = est_rank(lo - 1)
+        half = base + count_est / 2
+        balanced = [
+            value
+            for value in boundaries
+            if 0 < est_rank(value) - base < count_est
+        ]
+        if balanced:
+            best = min(balanced, key=lambda v: abs(est_rank(v) - half))
+            ratio = (est_rank(best) - base) / count_est
+            # A single hot value can make every achievable split lopsided;
+            # the balance invariant can then never hold for this node, so
+            # exempt it (skewed) instead of rebuilding forever. The paper
+            # avoids this case by assuming distinct items.
+            return best, not 0.3 <= ratio <= 0.7
+
+        def mass_side_width(value: int) -> int:
+            left_mass = est_rank(value) - base
+            if left_mass > 0:  # everything at or below the boundary
+                return value + 1 - lo
+            return hi - (value + 1)
+
+        best = min(boundaries, key=mass_side_width)
+        if mass_side_width(best) >= hi - lo:
+            return None, False
+        return best, True
+
+    def _collect_exact_counts(self, subtree_root_id: int) -> None:
+        """Poll every site for exact per-node counts of the new subtree."""
+        replies = self.network.request_all(
+            Message(REQ_SUBTREE_COUNTS, subtree_root_id)
+        )
+        order = self.tree.preorder(subtree_root_id)
+        totals = [0] * len(order)
+        for reply in replies:
+            counts = reply.payload
+            if len(counts) != len(order):
+                raise ProtocolError("subtree count reply shape mismatch")
+            for index, count in enumerate(counts):
+                totals[index] += int(count)
+        for node_id, count in zip(order, totals):
+            self.tree.node(node_id).su = count
+        if subtree_root_id == self.tree.root_id:
+            self.round_base = self.tree.root.su
+
+    # -- repair rules on every update ---------------------------------------
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        if message.kind != MSG_COUNT:
+            raise ProtocolError(f"unexpected message kind {message.kind!r}")
+        node_id, amount = message.payload
+        node = self.tree.node(int(node_id))
+        node.su += int(amount)
+        if self.tree.root.su >= 2 * self.round_base:
+            self.full_rebuild()
+            return
+        violated = self._highest_violation(int(node_id))
+        if violated is not None:
+            self._rebuild(violated)
+            return
+        if (
+            node.is_leaf
+            and node.su > self._leaf_split_threshold()
+            and node.su >= node.suppress_until
+        ):
+            self.leaf_splits += 1
+            self._rebuild(node.node_id)
+
+    def _highest_violation(self, node_id: int) -> int | None:
+        """Highest ancestor whose splitting-element invariant (6) broke."""
+        floor = max(4, self._leaf_cap())
+        for ancestor_id in self.tree.path_to(node_id):
+            ancestor = self.tree.node(ancestor_id)
+            if ancestor.is_leaf or ancestor.skewed or ancestor.su < floor:
+                continue
+            if ancestor.su < ancestor.suppress_until:
+                continue
+            for child_id in (ancestor.left, ancestor.right):
+                child = self.tree.node(child_id)
+                if not ancestor.su / 4 <= child.su <= 3 * ancestor.su / 4:
+                    return ancestor_id
+        return None

@@ -1,0 +1,14 @@
+"""Message kinds of the §4 all-quantiles protocol."""
+
+# site -> coordinator pushes
+MSG_COUNT = "aq.count"  # (node_id, amount): node-interval counter update
+
+# coordinator -> site pushes
+MSG_INSTALL = "aq.install"
+# payload: (round_base, replaced_id, parent_id, spec) where spec is a list of
+# (node_id, lo, hi, left_id, right_id) rows describing the new subtree;
+# replaced_id == -1 installs a fresh root (new round).
+
+# coordinator round-trip requests
+REQ_RANGE_SUMMARY = "aq.range_summary"  # (lo, hi, bucket) -> (count, bucket, seps)
+REQ_SUBTREE_COUNTS = "aq.subtree_counts"  # (subtree_root_id,) -> preorder counts

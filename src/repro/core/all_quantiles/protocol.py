@@ -1,0 +1,160 @@
+"""Public facade of the §4 all-quantiles tracking protocol (Theorem 4.1).
+
+Usage::
+
+    from repro import AllQuantilesProtocol, TrackingParams
+
+    protocol = AllQuantilesProtocol(TrackingParams(num_sites=8, epsilon=0.05))
+    for site_id, item in stream:
+        protocol.process(site_id, item)
+    p99 = protocol.quantile(0.99)
+    r = protocol.rank(123456)
+
+Guarantee: at all times, ``rank(x)`` is within ``ε|A|`` of the true count
+of items ``≤ x``, simultaneously for every ``x`` — equivalently, every
+φ-quantile is available with error ``ε``.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.common.validation import require_phi, require_universe
+from repro.core.all_quantiles.coordinator import AllQuantilesCoordinator
+from repro.core.all_quantiles.site import AllQuantilesSite
+from repro.core.all_quantiles.tree import QuantileTree
+from repro.network.protocol import ContinuousTrackingProtocol, Site
+
+
+class AllQuantilesProtocol(ContinuousTrackingProtocol):
+    """Continuous all-quantile tracking, cost ``O(k/ε · log n · log²(1/ε))``."""
+
+    def __init__(
+        self,
+        params: TrackingParams,
+        use_sketch_sites: bool = False,
+        theta_scale: float = 1.0,
+    ) -> None:
+        """Create the protocol.
+
+        Args:
+            params: shared tracking parameters (``k``, ``ε``, universe).
+            use_sketch_sites: back each site with a Greenwald–Khanna sketch
+                (§4's small-space remark) instead of an exact multiset.
+            theta_scale: multiplier on the paper's ``θ = ε/(2h)`` count-
+                update resolution (ablation A3).
+        """
+        self._use_sketch_sites = use_sketch_sites
+        self._theta_scale = theta_scale
+        super().__init__(params)
+
+    def _build(self) -> None:
+        self._sites = [
+            AllQuantilesSite(
+                site_id,
+                self.network,
+                self.params,
+                use_sketch=self._use_sketch_sites,
+                theta_scale=self._theta_scale,
+            )
+            for site_id in range(self.params.num_sites)
+        ]
+        self._coordinator = AllQuantilesCoordinator(
+            self.network, self.params, theta_scale=self._theta_scale
+        )
+        self.network.bind(self._coordinator, self._sites)
+
+    def _site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        for site, items in zip(self._sites, per_site_items):
+            site.bootstrap(items)
+        self._coordinator.full_rebuild()
+
+    # -- queries -----------------------------------------------------------
+
+    def rank(self, item: int) -> int:
+        """Estimated count of stream items ``≤ item`` (error ``≤ ε|A|``)."""
+        require_universe(item, self.params.universe_size)
+        if self.in_warmup:
+            return sum(
+                cnt for value, cnt in self._warmup_counts.items() if value <= item
+            )
+        return self._coordinator.tree.estimate_rank(item)
+
+    def quantile(self, phi: float) -> int:
+        """A value whose true rank is within ``ε|A|`` of ``φ|A|``."""
+        require_phi(phi)
+        if self.in_warmup:
+            ordered = sorted(
+                value
+                for value, cnt in self._warmup_counts.items()
+                for _ in range(cnt)
+            )
+            if not ordered:
+                raise IndexError("quantile queried before any arrival")
+            return ordered[min(len(ordered) - 1, int(phi * len(ordered)))]
+        return self._coordinator.tree.estimate_quantile(phi)
+
+    def heavy_hitters(self, phi: float) -> set[int]:
+        """Approximate φ-heavy hitters derived from ranks ([7]'s observation).
+
+        An all-quantile structure with rank error ``ε|A|`` yields
+        ``2ε``-approximate heavy hitters: an item ``x`` is reported when its
+        estimated rank jump ``rank(x) − rank(x−1)`` clears ``(φ − ε)|A|``.
+        Candidates come from an ``ε/2`` quantile grid plus all single-value
+        leaves (where a heavy item eventually isolates).
+        """
+        require_phi(phi)
+        total = max(1, self.estimated_total)
+        cutoff = (phi - self.params.epsilon) * total
+        if self.in_warmup:
+            return {
+                value
+                for value, cnt in self._warmup_counts.items()
+                if cnt >= cutoff
+            }
+        tree = self._coordinator.tree
+        candidates: set[int] = set()
+        steps = int(2 / self.params.epsilon) + 1
+        for index in range(steps + 1):
+            candidates.add(tree.estimate_quantile(min(1.0, index / steps)))
+        for leaf in tree.leaves():
+            if leaf.hi - leaf.lo == 1:
+                candidates.add(leaf.lo)
+        hitters: set[int] = set()
+        for value in candidates:
+            jump = tree.estimate_rank(value) - tree.estimate_rank(value - 1)
+            if jump >= cutoff:
+                hitters.add(value)
+        return hitters
+
+    @property
+    def estimated_total(self) -> int:
+        """The coordinator's estimate of ``|A|`` (the root's count)."""
+        if self.in_warmup:
+            return self.items_processed
+        return self._coordinator.tree.root.su
+
+    @property
+    def tree(self) -> QuantileTree:
+        """The coordinator's live tree (read-only access for audits/E8)."""
+        return self._coordinator.tree
+
+    @property
+    def rounds_completed(self) -> int:
+        if self.in_warmup:
+            return 0
+        return self._coordinator.rounds_completed
+
+    @property
+    def partial_rebuilds(self) -> int:
+        if self.in_warmup:
+            return 0
+        return self._coordinator.partial_rebuilds
+
+    @property
+    def leaf_splits(self) -> int:
+        if self.in_warmup:
+            return 0
+        return self._coordinator.leaf_splits

@@ -1,0 +1,162 @@
+"""Site-side state of the §4 all-quantiles protocol.
+
+Each site mirrors the coordinator's tree (intervals and shape only — no
+counts) so it can route each arrival down the root-to-leaf path, keeping an
+unreported delta per node. When a node's delta reaches ``θm/k`` the site
+pushes the increment.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles.messages import (
+    MSG_COUNT,
+    MSG_INSTALL,
+    REQ_RANGE_SUMMARY,
+    REQ_SUBTREE_COUNTS,
+)
+from repro.core.all_quantiles.tree import QuantileTree, TreeNode, height_bound
+from repro.core.localstore import ExactLocalStore, GKLocalStore, LocalStore
+from repro.network.message import Message
+from repro.network.protocol import Site
+from repro.network.runtime import Network
+
+
+class AllQuantilesSite(Site):
+    """Site endpoint: local multiset plus a mirror of the tree shape."""
+
+    def __init__(
+        self,
+        site_id: int,
+        network: Network,
+        params: TrackingParams,
+        use_sketch: bool = False,
+        sketch_epsilon: float | None = None,
+        theta_scale: float = 1.0,
+    ) -> None:
+        super().__init__(site_id, network)
+        self._params = params
+        theta_epsilon = sketch_epsilon or params.epsilon / (
+            8 * height_bound(params.epsilon)
+        )
+        self._store: LocalStore = (
+            GKLocalStore(theta_epsilon) if use_sketch else ExactLocalStore()
+        )
+        self.tree = QuantileTree(universe_size=params.universe_size)
+        self.round_base = 0
+        self._deltas: dict[int, int] = {}
+        self._theta = theta_scale * params.epsilon / (
+            2 * height_bound(params.epsilon)
+        )
+        # Bumped on every install; lets an in-progress path walk notice that
+        # one of its own count updates triggered a rebuild underneath it.
+        self._generation = 0
+
+    @property
+    def store(self) -> LocalStore:
+        """The site's local multiset (exposed for space audits)."""
+        return self._store
+
+    @property
+    def local_total(self) -> int:
+        return self._store.total
+
+    def bootstrap(self, items: list[int]) -> None:
+        """Install the warm-up prefix as the local multiset."""
+        for item in items:
+            self._store.insert(item)
+
+    def _trigger(self) -> int:
+        raw = self._theta * self.round_base / self._params.k
+        return max(1, int(raw))
+
+    def observe(self, item: int) -> None:
+        self._store.insert(item)
+        if self.tree.root_id < 0:
+            return  # tree not installed yet
+        trigger = self._trigger()
+        generation = self._generation
+        node = self.tree.root
+        while True:
+            delta = self._deltas.get(node.node_id, 0) + 1
+            if delta >= trigger:
+                self._deltas[node.node_id] = 0
+                self.send(Message(MSG_COUNT, (node.node_id, delta)))
+                if self._generation != generation:
+                    # Our update triggered a rebuild that replaced the rest
+                    # of this path; the install's exact count collection
+                    # already accounted for this item below here.
+                    return
+            else:
+                self._deltas[node.node_id] = delta
+            if node.is_leaf:
+                return
+            left = self.tree.node(node.left)
+            node = left if item < left.hi else self.tree.node(node.right)
+
+    # -- coordinator pushes ---------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == MSG_INSTALL:
+            round_base, replaced_id, parent_id, spec = message.payload
+            self.round_base = int(round_base)
+            self._install(int(replaced_id), int(parent_id), spec)
+            return
+        super().on_message(message)
+
+    def _install(self, replaced_id: int, parent_id: int, spec) -> None:
+        self._generation += 1
+        if replaced_id < 0:
+            # Fresh root: drop everything.
+            self.tree = QuantileTree(universe_size=self._params.universe_size)
+            self._deltas.clear()
+        else:
+            for removed in self.tree.remove_subtree(replaced_id):
+                self._deltas.pop(removed, None)
+        new_root_id = -1
+        for node_id, lo, hi, left, right in spec:
+            self.tree.add_node(
+                TreeNode(
+                    node_id=int(node_id),
+                    lo=int(lo),
+                    hi=int(hi),
+                    left=int(left),
+                    right=int(right),
+                )
+            )
+            if new_root_id < 0:
+                new_root_id = int(node_id)
+        # Wire parents within the new subtree.
+        for node_id, _lo, _hi, left, right in spec:
+            for child in (int(left), int(right)):
+                if child >= 0:
+                    self.tree.node(child).parent = int(node_id)
+        if parent_id < 0:
+            self.tree.root_id = new_root_id
+        else:
+            parent = self.tree.node(parent_id)
+            new_root = self.tree.node(new_root_id)
+            new_root.parent = parent_id
+            if parent.lo == new_root.lo:
+                parent.left = new_root_id
+            else:
+                parent.right = new_root_id
+
+    # -- coordinator requests ---------------------------------------------
+
+    def on_request(self, message: Message) -> Message:
+        if message.kind == REQ_RANGE_SUMMARY:
+            lo, hi, bucket = message.payload
+            count, bucket, separators = self._store.summary(
+                int(lo), int(hi), int(bucket)
+            )
+            return Message(REQ_RANGE_SUMMARY, (count, bucket, separators))
+        if message.kind == REQ_SUBTREE_COUNTS:
+            subtree_root = int(message.payload)
+            counts = []
+            for node_id in self.tree.preorder(subtree_root):
+                node = self.tree.node(node_id)
+                counts.append(self._store.range_count(node.lo, node.hi))
+                self._deltas[node_id] = 0
+            return Message(REQ_SUBTREE_COUNTS, counts)
+        return super().on_request(message)

@@ -1,0 +1,213 @@
+"""The Figure-1 binary tree maintained by the all-quantiles coordinator.
+
+Each node ``u`` covers an interval ``Iu`` of the universe and carries
+``su``, an underestimate of ``|A ∩ Iu|`` with absolute error at most
+``θm`` where ``θ = ε/(2h)`` and ``h`` bounds the height. Internal nodes
+store a splitting element (an approximate median of their interval); the
+Θ(1/ε) leaves each cover at most ``εm/2`` items.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProtocolError
+
+
+def height_bound(epsilon: float) -> int:
+    """The height cap ``h = Θ(log 1/ε)`` used to set ``θ = ε/(2h)``."""
+    return max(8, math.ceil(math.log2(1 / epsilon)) + 3)
+
+
+@dataclass
+class TreeNode:
+    """One node of the quantile tree: interval ``[lo, hi)`` plus count ``su``."""
+
+    node_id: int
+    lo: int
+    hi: int
+    parent: int = -1
+    left: int = -1
+    right: int = -1
+    su: int = 0
+    # Node ids below this value are suppressed from re-splitting (set when a
+    # rebuild could not find a separator, e.g. a single-value interval).
+    suppress_until: int = 0
+    # True when this node was split without a balanced separator (ties /
+    # single-value mass): the splitting-element invariant does not apply.
+    skewed: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left < 0
+
+    def __contains__(self, item: int) -> bool:
+        return self.lo <= item < self.hi
+
+
+@dataclass
+class QuantileTree:
+    """Coordinator-side tree: id-addressed nodes plus traversal helpers."""
+
+    universe_size: int
+    nodes: dict[int, TreeNode] = field(default_factory=dict)
+    root_id: int = -1
+    _next_id: int = 0
+
+    def fresh_id(self) -> int:
+        """Allocate a new node id (never reused)."""
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def node(self, node_id: int) -> TreeNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ProtocolError(f"unknown tree node {node_id}") from None
+
+    @property
+    def root(self) -> TreeNode:
+        return self.node(self.root_id)
+
+    def add_node(self, node: TreeNode) -> None:
+        self.nodes[node.node_id] = node
+
+    def remove_subtree(self, node_id: int) -> list[int]:
+        """Delete ``node_id`` and all descendants; returns removed ids."""
+        removed: list[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            node = self.nodes.pop(current, None)
+            if node is None:
+                continue
+            removed.append(current)
+            if node.left >= 0:
+                stack.append(node.left)
+            if node.right >= 0:
+                stack.append(node.right)
+        return removed
+
+    def path_to(self, node_id: int) -> list[int]:
+        """Node ids from the root down to ``node_id`` inclusive."""
+        path = [node_id]
+        current = self.node(node_id)
+        while current.parent >= 0:
+            path.append(current.parent)
+            current = self.node(current.parent)
+        if path[-1] != self.root_id:
+            raise ProtocolError(f"node {node_id} detached from the root")
+        return path[::-1]
+
+    def leaf_for(self, item: int) -> TreeNode:
+        """The leaf whose interval contains ``item``."""
+        node = self.root
+        while not node.is_leaf:
+            left = self.node(node.left)
+            node = left if item < left.hi else self.node(node.right)
+        if item not in node:
+            raise ProtocolError(f"item {item} missed its leaf")
+        return node
+
+    def preorder(self, node_id: int | None = None) -> list[int]:
+        """Preorder node ids of the subtree at ``node_id`` (default: root)."""
+        start = self.root_id if node_id is None else node_id
+        order: list[int] = []
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current < 0 or current not in self.nodes:
+                continue
+            order.append(current)
+            node = self.nodes[current]
+            stack.append(node.right)
+            stack.append(node.left)
+        return order
+
+    def leaves(self) -> list[TreeNode]:
+        """All leaves, left to right."""
+        return [
+            self.nodes[node_id]
+            for node_id in self.preorder()
+            if self.nodes[node_id].is_leaf
+        ]
+
+    def height(self) -> int:
+        """Maximum root-to-leaf edge count."""
+        def depth(node_id: int) -> int:
+            node = self.node(node_id)
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        if self.root_id < 0:
+            return 0
+        return depth(self.root_id)
+
+    # -- queries ---------------------------------------------------------
+
+    def estimate_rank(self, item: int) -> int:
+        """Estimated count of items ``≤ item`` (error ``≤ ε·m``).
+
+        Sums the left-sibling counts along the root-to-leaf path, plus half
+        the destination leaf's count to centre the within-leaf uncertainty.
+        """
+        if item < 1:
+            return 0
+        if item >= self.universe_size:
+            return self.root.su
+        acc = 0
+        node = self.root
+        while not node.is_leaf:
+            left = self.node(node.left)
+            if item < left.hi:
+                node = left
+            else:
+                acc += left.su
+                node = self.node(node.right)
+        if item >= node.hi - 1:
+            return acc + node.su
+        return acc + node.su // 2
+
+    def estimate_quantile(self, phi: float) -> int:
+        """A value whose estimated rank is ``φ`` of the total.
+
+        Descends to the leaf containing the target rank, then linearly
+        interpolates within the leaf's value range — any value of the leaf
+        satisfies the ε rank guarantee (leaves hold ≤ ``εm/2`` items), and
+        interpolation avoids systematically answering the leaf's extreme.
+        """
+        if self.root.su <= 0:
+            raise IndexError("quantile of an empty tree")
+        target = phi * self.root.su
+        node = self.root
+        acc = 0.0
+        while not node.is_leaf:
+            left = self.node(node.left)
+            if target <= acc + left.su:
+                node = left
+            else:
+                acc += left.su
+                node = self.node(node.right)
+        if node.su <= 0:
+            value = node.lo
+        else:
+            fraction = min(1.0, max(0.0, (target - acc) / node.su))
+            value = node.lo + int(fraction * (node.hi - 1 - node.lo))
+        return min(max(1, value), self.universe_size)
+
+    # -- structural audits (used by tests and experiment E8) ------------------
+
+    def check_structure(self) -> None:
+        """Raise ProtocolError unless intervals tile correctly."""
+        for node in self.nodes.values():
+            if node.is_leaf:
+                continue
+            left = self.node(node.left)
+            right = self.node(node.right)
+            if (left.lo, right.hi) != (node.lo, node.hi) or left.hi != right.lo:
+                raise ProtocolError(
+                    f"children of node {node.node_id} do not tile its interval"
+                )

@@ -1,0 +1,9 @@
+"""§2.1 — optimal continuous tracking of the φ-heavy hitters.
+
+Total communication ``O(k/ε · log n)`` (Theorem 2.1), matching the paper's
+lower bound (Theorem 2.4).
+"""
+
+from repro.core.heavy_hitters.protocol import HeavyHitterProtocol
+
+__all__ = ["HeavyHitterProtocol"]

@@ -1,0 +1,78 @@
+"""Coordinator-side state of the §2.1 heavy-hitter protocol.
+
+The coordinator keeps ``C.m`` (an ε/3-underestimate of ``m``) and
+``C.mx`` for every reported item (ε/3-underestimates of each ``mx``).
+After ``k`` ``(all, ·)`` signals it synchronises: it collects exact local
+counts from every site, sets ``C.m`` to the exact total, and broadcasts it,
+which starts a new round.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.common.params import TrackingParams
+from repro.network.message import Message
+from repro.network.protocol import Coordinator
+from repro.network.runtime import Network
+from repro.core.heavy_hitters.site import (
+    MSG_ALL,
+    MSG_ITEM,
+    MSG_NEW_M,
+    REQ_LOCAL_COUNT,
+)
+
+
+class HeavyHitterCoordinator(Coordinator):
+    """Tracks ``C.m`` and ``C.mx`` and runs the round-synchronisation step."""
+
+    def __init__(self, network: Network, params: TrackingParams) -> None:
+        super().__init__(network)
+        self._params = params
+        self.global_estimate = 0  # C.m
+        self.item_estimates: Counter[int] = Counter()  # C.mx
+        self._all_signals = 0
+        self.rounds_completed = 0
+
+    def bootstrap(self, counts: Counter[int], total: int) -> None:
+        """Install exact knowledge of the warm-up prefix and broadcast m."""
+        self.item_estimates = Counter(counts)
+        self.global_estimate = total
+        self._all_signals = 0
+        self.network.broadcast(Message(MSG_NEW_M, total))
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        if message.kind == MSG_ALL:
+            self.global_estimate += int(message.payload)
+            self._all_signals += 1
+            if self._all_signals >= self._params.k:
+                self._synchronise()
+            return
+        if message.kind == MSG_ITEM:
+            item, amount = message.payload
+            self.item_estimates[item] += int(amount)
+            return
+        raise ValueError(f"unexpected message kind {message.kind!r}")
+
+    def _synchronise(self) -> None:
+        """Collect exact local counts, reset ``C.m``, broadcast the new value."""
+        replies = self.network.request_all(Message(REQ_LOCAL_COUNT))
+        exact_total = sum(int(reply.payload) for reply in replies)
+        self.global_estimate = exact_total
+        self._all_signals = 0
+        self.rounds_completed += 1
+        self.network.broadcast(Message(MSG_NEW_M, exact_total))
+
+    def classify(self, phi: float, margin: float) -> dict[int, float]:
+        """Items whose estimated ratio clears ``φ + margin``.
+
+        Returns ``{item: C.mx / C.m}`` for every qualifying item.
+        """
+        if self.global_estimate <= 0:
+            return {}
+        cutoff = phi + margin
+        return {
+            item: estimate / self.global_estimate
+            for item, estimate in self.item_estimates.items()
+            if estimate / self.global_estimate >= cutoff
+        }

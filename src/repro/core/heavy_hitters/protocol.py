@@ -1,0 +1,139 @@
+"""Public facade of the §2.1 heavy-hitter tracking protocol (Theorem 2.1).
+
+Usage::
+
+    from repro import HeavyHitterProtocol, TrackingParams
+
+    protocol = HeavyHitterProtocol(TrackingParams(num_sites=8, epsilon=0.02))
+    for site_id, item in stream:
+        protocol.process(site_id, item)
+    hitters = protocol.heavy_hitters(phi=0.05)
+
+Guarantee (for any query time and any ``φ > ε``): the returned set contains
+every item with ``mx ≥ φ·m`` and no item with ``mx < (φ−ε)·m``.
+
+Note on the classification threshold: the paper's rule (1) tests the
+estimated ratio against ``φ + ε/2``, but its own error bounds
+(``mx/m − ε/3 < C.mx/C.m < mx/m + ε/2``) make ``φ − ε/3`` the cutoff that
+delivers the stated guarantee; we default to that and expose the margin for
+experimentation (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.common.params import TrackingParams
+from repro.common.validation import require_phi
+from repro.core.heavy_hitters.coordinator import HeavyHitterCoordinator
+from repro.core.heavy_hitters.site import HeavyHitterSite, SketchHeavyHitterSite
+from repro.network.protocol import ContinuousTrackingProtocol, Site
+
+
+class HeavyHitterProtocol(ContinuousTrackingProtocol):
+    """Continuous φ-heavy-hitter tracking with cost ``O(k/ε · log n)``."""
+
+    def __init__(
+        self,
+        params: TrackingParams,
+        use_sketch_sites: bool = False,
+        classification_margin: float | None = None,
+        trigger_divisor: int = 3,
+    ) -> None:
+        """Create the protocol.
+
+        Args:
+            params: shared tracking parameters (``k``, ``ε``, universe).
+            use_sketch_sites: replace exact per-site counting with the
+                §2.1 SpaceSaving small-space variant.
+            classification_margin: offset added to ``φ`` when classifying;
+                defaults to ``−ε/3`` (see module docstring).
+            trigger_divisor: ``d`` in the site trigger ``ε·Sj.m/(d·k)``;
+                the paper's value is 3. Smaller values send less but widen
+                the estimate error to ``ε·m/d`` (ablation A1).
+        """
+        self._use_sketch_sites = use_sketch_sites
+        if classification_margin is None:
+            classification_margin = -params.epsilon / 3
+        self._margin = classification_margin
+        self._trigger_divisor = trigger_divisor
+        super().__init__(params)
+
+    def _build(self) -> None:
+        site_cls = (
+            SketchHeavyHitterSite if self._use_sketch_sites else HeavyHitterSite
+        )
+        self._sites = [
+            site_cls(
+                site_id,
+                self.network,
+                self.params,
+                trigger_divisor=self._trigger_divisor,
+            )
+            for site_id in range(self.params.num_sites)
+        ]
+        self._coordinator = HeavyHitterCoordinator(self.network, self.params)
+        self.network.bind(self._coordinator, self._sites)
+
+    def _site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        total = sum(len(items) for items in per_site_items)
+        counts: Counter[int] = Counter()
+        for items in per_site_items:
+            counts.update(items)
+        # The sites must learn m before the coordinator broadcast lands, so
+        # bootstrap site state first (broadcast then refreshes Sj.m anyway).
+        for site, items in zip(self._sites, per_site_items):
+            site.bootstrap(items, total)
+        self._coordinator.bootstrap(counts, total)
+
+    # -- queries -----------------------------------------------------------
+
+    def heavy_hitters(self, phi: float) -> set[int]:
+        """The coordinator's current approximate φ-heavy-hitter set."""
+        require_phi(phi, self.params.epsilon)
+        if self.in_warmup:
+            total = max(1, self.items_processed)
+            return {
+                item
+                for item, cnt in self._warmup_counts.items()
+                if cnt / total >= phi
+            }
+        return set(self._coordinator.classify(phi, self._margin))
+
+    def estimated_frequencies(self) -> dict[int, int]:
+        """Snapshot of ``C.mx`` for every reported item."""
+        if self.in_warmup:
+            return dict(self._warmup_counts)
+        return dict(self._coordinator.item_estimates)
+
+    @property
+    def estimated_total(self) -> int:
+        """The coordinator's ``C.m``."""
+        if self.in_warmup:
+            return self.items_processed
+        return self._coordinator.global_estimate
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of coordinator synchronisation broadcasts so far."""
+        if self.in_warmup:
+            return 0
+        return self._coordinator.rounds_completed
+
+    # -- introspection for the lower-bound adversary ------------------------
+
+    def site_trigger_threshold(self, site_id: int, item: int) -> int:
+        """Copies of ``item`` that would make site ``site_id`` send next.
+
+        Lemma 2.3's adversary is allowed to know each site's triggering
+        threshold; this is the sanctioned inspection hook it uses.
+        """
+        if self.in_warmup:
+            return 1
+        site = self._sites[site_id]
+        remaining_item = site._trigger() - site.delta_items.get(item, 0)
+        remaining_total = site._trigger() - site.delta_total
+        return max(1, min(remaining_item, remaining_total))

@@ -1,0 +1,147 @@
+"""Site-side state of the §2.1 heavy-hitter protocol.
+
+Each site ``Sj`` maintains:
+
+* ``Sj.m`` — its current estimate of the global count ``m`` (refreshed by
+  coordinator broadcasts),
+* ``Δ(m)`` — arrivals since its last ``(all, ·)`` message,
+* ``Δ(mx)`` for each item ``x`` — arrivals of ``x`` since the last
+  ``(x, ·)`` message about it.
+
+When ``Δ(m)`` (resp. ``Δ(mx)``) reaches the trigger ``ε·Sj.m/3k`` the site
+sends that amount to the coordinator and resets the counter. Sketch-backed
+sites (§2.1's small-space remark) drive the same triggers from SpaceSaving
+estimates instead of exact counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.common.params import TrackingParams
+from repro.network.message import Message
+from repro.network.protocol import Site
+from repro.network.runtime import Network
+from repro.sketches.spacesaving import SpaceSavingSketch
+
+MSG_ALL = "hh.all"
+MSG_ITEM = "hh.item"
+MSG_NEW_M = "hh.new_m"
+REQ_LOCAL_COUNT = "hh.local_count"
+
+
+class HeavyHitterSite(Site):
+    """Exact-counting site endpoint for the heavy-hitter protocol."""
+
+    def __init__(
+        self,
+        site_id: int,
+        network: Network,
+        params: TrackingParams,
+        trigger_divisor: int = 3,
+    ) -> None:
+        super().__init__(site_id, network)
+        self._params = params
+        self._trigger_divisor = trigger_divisor
+        self.global_estimate = 0  # Sj.m
+        self.delta_total = 0  # Sj.Δ(m)
+        self.delta_items: Counter[int] = Counter()  # Sj.Δ(mx)
+        self.local_total = 0  # |Aj|, exact
+
+    def bootstrap(self, items: list[int], global_count: int) -> None:
+        """Install the warm-up prefix (all deltas already reported)."""
+        self.local_total = len(items)
+        self.global_estimate = global_count
+        self.delta_total = 0
+        self.delta_items.clear()
+
+    def _trigger(self) -> int:
+        """The current send threshold ``max(1, ⌊ε·Sj.m/(d·k)⌋)``.
+
+        The paper fixes ``d = 3`` (splitting the ε error budget between the
+        total count, the item counts, and the classification margin);
+        ``d`` is exposed for the ablation experiment A1.
+        """
+        raw = self._params.epsilon * self.global_estimate / (
+            self._trigger_divisor * self._params.k
+        )
+        return max(1, int(raw))
+
+    def observe(self, item: int) -> None:
+        self.local_total += 1
+        self.delta_total += 1
+        self.delta_items[item] += 1
+        trigger = self._trigger()
+        if self.delta_items[item] >= trigger:
+            amount = self.delta_items[item]
+            self.delta_items[item] = 0
+            self.send(Message(MSG_ITEM, (item, amount)))
+        if self.delta_total >= trigger:
+            amount = self.delta_total
+            self.delta_total = 0
+            self.send(Message(MSG_ALL, amount))
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == MSG_NEW_M:
+            # Coordinator broadcast of the exact global count.
+            self.global_estimate = int(message.payload)
+            self.delta_total = 0
+            return
+        super().on_message(message)
+
+    def on_request(self, message: Message) -> Message:
+        if message.kind == REQ_LOCAL_COUNT:
+            return Message(REQ_LOCAL_COUNT, self.local_total)
+        return super().on_request(message)
+
+
+class SketchHeavyHitterSite(HeavyHitterSite):
+    """§2.1 small-space variant: per-item deltas driven by SpaceSaving.
+
+    The site holds an ``O(1/ε')`` SpaceSaving sketch (``ε' = ε/6`` so the
+    sketch error stays within the protocol's slack) and reports the growth
+    of an item's *estimate* since its last report. Items evicted from the
+    sketch simply stop reporting; the coordinator's estimate for them stays
+    a valid underestimate.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        network: Network,
+        params: TrackingParams,
+        trigger_divisor: int = 3,
+        sketch_epsilon: float | None = None,
+    ) -> None:
+        super().__init__(site_id, network, params, trigger_divisor)
+        self._sketch_epsilon = sketch_epsilon or params.epsilon / 6
+        self._sketch = SpaceSavingSketch(self._sketch_epsilon)
+        self._reported: dict[int, int] = {}
+
+    @property
+    def sketch(self) -> SpaceSavingSketch:
+        """The site's local summary (exposed for space audits)."""
+        return self._sketch
+
+    def bootstrap(self, items: list[int], global_count: int) -> None:
+        super().bootstrap(items, global_count)
+        for item in items:
+            self._sketch.insert(item)
+        # Warm-up counts were delivered exactly; seed baselines with the
+        # sketch's current view so future deltas measure post-warm-up growth.
+        self._reported = dict(self._sketch.items())
+
+    def observe(self, item: int) -> None:
+        self.local_total += 1
+        self.delta_total += 1
+        self._sketch.insert(item)
+        trigger = self._trigger()
+        estimate = self._sketch.guaranteed_count(item)
+        baseline = self._reported.get(item, 0)
+        if estimate - baseline >= trigger:
+            self._reported[item] = estimate
+            self.send(Message(MSG_ITEM, (item, estimate - baseline)))
+        if self.delta_total >= trigger:
+            amount = self.delta_total
+            self.delta_total = 0
+            self.send(Message(MSG_ALL, amount))

@@ -1,0 +1,130 @@
+"""Per-site local multiset stores shared by the quantile-family protocols.
+
+A store answers the order-statistics questions the coordinator asks of a
+site: counts below a value, counts in a range, and equi-depth separators of
+a range. Two implementations:
+
+* :class:`ExactLocalStore` — a sorted list; exact answers (the default the
+  paper's analysis assumes).
+* :class:`GKLocalStore` — a Greenwald–Khanna sketch; ``ε'``-approximate
+  answers in ``O(1/ε' · log(ε'n))`` space (the paper's small-space remark).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+
+from repro.sketches.gk import GKQuantileSketch
+from repro.structures.intervals import equi_depth_separators
+
+
+class LocalStore(ABC):
+    """Interface over a site's local multiset."""
+
+    @abstractmethod
+    def insert(self, item: int) -> None:
+        """Record one local arrival."""
+
+    @property
+    @abstractmethod
+    def total(self) -> int:
+        """Number of items stored."""
+
+    @abstractmethod
+    def count_less(self, value: int) -> int:
+        """Items strictly below ``value``."""
+
+    @abstractmethod
+    def count_leq(self, value: int) -> int:
+        """Items at most ``value``."""
+
+    def range_count(self, lo: int, hi: int) -> int:
+        """Items in the half-open value range ``[lo, hi)``."""
+        return self.count_less(hi) - self.count_less(lo)
+
+    @abstractmethod
+    def summary(self, lo: int, hi: int, bucket: int) -> tuple[int, int, list[int]]:
+        """Equi-depth digest of ``[lo, hi)``: ``(count, bucket, separators)``.
+
+        The separators split the local items of the range into buckets of
+        ``bucket`` items, so any in-range rank can be reconstructed from
+        them with error at most ``bucket``. The caller chooses the bucket —
+        the paper's protocols use ``ε|Aj|/32`` for full summaries (rank
+        error ``εm/32`` globally) and ``|Aj ∩ I|/8`` for split probes.
+        """
+
+
+class ExactLocalStore(LocalStore):
+    """Sorted-list store with exact answers."""
+
+    def __init__(self, items: list[int] | None = None) -> None:
+        self._items = sorted(items) if items else []
+
+    def insert(self, item: int) -> None:
+        bisect.insort(self._items, item)
+
+    @property
+    def total(self) -> int:
+        return len(self._items)
+
+    def count_less(self, value: int) -> int:
+        return bisect.bisect_left(self._items, value)
+
+    def count_leq(self, value: int) -> int:
+        return bisect.bisect_right(self._items, value)
+
+    def summary(self, lo: int, hi: int, bucket: int) -> tuple[int, int, list[int]]:
+        left = self.count_less(lo)
+        right = self.count_less(hi)
+        values = self._items[left:right]
+        if not values:
+            return 0, 1, []
+        bucket = max(1, bucket)
+        return len(values), bucket, equi_depth_separators(values, bucket)
+
+
+class GKLocalStore(LocalStore):
+    """Greenwald–Khanna-backed store with ``ε'``-approximate answers."""
+
+    def __init__(self, epsilon: float, items: list[int] | None = None) -> None:
+        self._sketch = GKQuantileSketch(epsilon)
+        self._total = 0
+        for item in items or []:
+            self.insert(item)
+
+    @property
+    def sketch(self) -> GKQuantileSketch:
+        """The underlying summary (exposed for space audits)."""
+        return self._sketch
+
+    def insert(self, item: int) -> None:
+        self._sketch.insert(item)
+        self._total += 1
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def count_less(self, value: int) -> int:
+        return self._sketch.rank(value - 1)
+
+    def count_leq(self, value: int) -> int:
+        return self._sketch.rank(value)
+
+    def summary(self, lo: int, hi: int, bucket: int) -> tuple[int, int, list[int]]:
+        count = max(0, self.range_count(lo, hi))
+        if count == 0:
+            return 0, 1, []
+        bucket = max(1, bucket)
+        base = self.count_less(lo)
+        separators: list[int] = []
+        next_target = bucket
+        for value, _g, _delta in self._sketch.merged_values():
+            if not lo <= value < hi:
+                continue
+            in_range_rank = self.count_leq(value) - base
+            if in_range_rank >= next_target:
+                separators.append(value)
+                next_target = in_range_rank + bucket
+        return count, bucket, separators

@@ -1,0 +1,9 @@
+"""§3 — optimal continuous tracking of a single φ-quantile (the median).
+
+Total communication ``O(k/ε · log n)`` (Theorem 3.1), matching the lower
+bound (Theorem 3.2).
+"""
+
+from repro.core.quantile.protocol import QuantileProtocol
+
+__all__ = ["QuantileProtocol"]

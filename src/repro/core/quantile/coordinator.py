@@ -1,0 +1,288 @@
+"""Coordinator-side state of the §3.1 quantile protocol.
+
+The coordinator owns the dynamic interval partition (each interval holds
+roughly between ``εm/8`` and ``εm/2`` items), the tracked position ``M``,
+and the drift counters that trigger recentering. Rounds restart whenever
+``|A|`` doubles; each round costs ``O(k/ε)`` words, giving Theorem 3.1's
+``O(k/ε · log n)`` total.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.common.errors import ProtocolError
+from repro.common.params import TrackingParams
+from repro.core.quantile.messages import (
+    MSG_DRIFT,
+    MSG_INTERVAL,
+    MSG_REBUILD,
+    MSG_RECENTER,
+    MSG_SPLIT,
+    REQ_INTERVAL_COUNTS,
+    REQ_RANGE_COUNTS,
+    REQ_RANGE_SUMMARY,
+    REQ_RANK,
+    REQ_SUMMARY,
+    SIDE_LEFT,
+)
+from repro.network.message import Message
+from repro.network.protocol import Coordinator
+from repro.network.runtime import Network
+from repro.structures.intervals import IntervalPartition
+
+_RANGE_PARTS = 8
+
+
+def merge_rank_estimator(
+    replies: list[tuple[int, int, list[int]]],
+) -> tuple[int, list[int], "callable"]:
+    """Combine per-site equi-depth summaries into a global rank estimator.
+
+    ``replies`` holds ``(count, bucket, separators)`` per site. Returns the
+    exact total, the sorted candidate separator values, and a function
+    ``est_rank(x)`` whose error is below ``Σ_j bucket_j``.
+    """
+    total = sum(count for count, _bucket, _seps in replies)
+    candidates = sorted({sep for _c, _b, seps in replies for sep in seps})
+    per_site = [(bucket, sorted(seps)) for _c, bucket, seps in replies]
+
+    def est_rank(value: int) -> int:
+        return sum(
+            bucket * bisect.bisect_right(seps, value)
+            for bucket, seps in per_site
+        )
+
+    return total, candidates, est_rank
+
+
+class QuantileCoordinator(Coordinator):
+    """Maintains ``M`` (the tracked φ-quantile) and the interval partition."""
+
+    def __init__(
+        self,
+        network: Network,
+        params: TrackingParams,
+        phi: float,
+        update_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(network)
+        self._params = params
+        self._phi = phi
+        # Drift that triggers a recenter, as a fraction of eps*m. The
+        # paper's value is 1/2; exposed for ablation A2.
+        self._update_fraction = update_fraction
+        self.partition: IntervalPartition | None = None
+        self._unsplittable: list[bool] = []
+        self.tracked = 1  # M
+        self.round_base = 0  # m at round start
+        self._baseline_rank = 0  # exact count(<= M) at last recenter
+        self._baseline_total = 0  # exact |A| at last recenter
+        self._drift = [0, 0]
+        self._reported_this_round = 0
+        self.rounds_completed = 0
+        self.recenters = 0
+        self.splits = 0
+
+    # -- thresholds -----------------------------------------------------------
+
+    def _separator_step(self) -> int:
+        """Target rank gap between global separators: ``3εm/16``."""
+        return max(1, int(3 * self._params.epsilon * self.round_base / 16))
+
+    def _split_threshold(self) -> int:
+        return max(2, int(self._params.epsilon * self.round_base / 4))
+
+    def _recenter_threshold(self) -> float:
+        return self._update_fraction * self._params.epsilon * self.round_base
+
+    def _recenter_slack(self) -> float:
+        return self._params.epsilon * self.round_base / 4
+
+    # -- round (re)build --------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Start a new round: fresh partition, exact counts, fresh ``M``."""
+        replies = self.network.request_all(Message(REQ_SUMMARY))
+        summaries = [tuple(reply.payload) for reply in replies]
+        total, candidates, est_rank = merge_rank_estimator(summaries)
+        if total <= 0:
+            raise ProtocolError("rebuild with no items at any site")
+        self.round_base = total
+        step = self._separator_step()
+        separators: list[int] = []
+        next_target = step
+        for value in candidates:
+            if est_rank(value) >= next_target:
+                separators.append(value)
+                next_target = est_rank(value) + step
+        self.partition = IntervalPartition.from_separators(
+            separators, self._params.universe_size
+        )
+        self._unsplittable = [False] * len(self.partition)
+        # Sites must install boundaries before exact counts are collected.
+        self.network.broadcast(
+            Message(MSG_REBUILD, (total, self.partition.separators(), 1))
+        )
+        count_replies = self.network.request_all(Message(REQ_INTERVAL_COUNTS))
+        per_interval = [0] * len(self.partition)
+        for reply in count_replies:
+            for index, count in enumerate(reply.payload):
+                per_interval[index] += int(count)
+        for index, count in enumerate(per_interval):
+            self.partition.set_count(index, count)
+        # Choose M: the separator whose exact cumulative rank is closest to
+        # the target rank phi * m.
+        target = self._phi * total
+        best_value, best_rank, best_gap = 1, 0, float("inf")
+        cumulative = 0
+        bounds = self.partition.boundaries()
+        for index in range(len(self.partition) - 1):
+            cumulative += per_interval[index]
+            separator = bounds[index + 1] - 1
+            gap = abs(cumulative - target)
+            if gap < best_gap:
+                best_value, best_rank, best_gap = separator, cumulative, gap
+        # The top of the universe is always a candidate: the last interval
+        # has no separator of its own (matters when the target rank falls
+        # inside it, e.g. tiny two-value universes).
+        if abs(total - target) < best_gap:
+            best_value, best_rank = self._params.universe_size, total
+        self.tracked = best_value
+        self._baseline_rank = best_rank
+        self._baseline_total = total
+        self._drift = [0, 0]
+        self._reported_this_round = 0
+        self.rounds_completed += 1
+        self.network.broadcast(Message(MSG_RECENTER, self.tracked))
+
+    # -- message handling --------------------------------------------------
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        if message.kind == MSG_INTERVAL:
+            index, amount = message.payload
+            self._on_interval_update(int(index), int(amount))
+            return
+        if message.kind == MSG_DRIFT:
+            side, amount = message.payload
+            self._on_drift(int(side), int(amount))
+            return
+        raise ProtocolError(f"unexpected message kind {message.kind!r}")
+
+    def _on_interval_update(self, index: int, amount: int) -> None:
+        if self.partition is None:
+            raise ProtocolError("interval update before first rebuild")
+        count = self.partition.add_count(index, amount)
+        if count >= self._split_threshold() and not self._unsplittable[index]:
+            self._split(index)
+
+    def _on_drift(self, side: int, amount: int) -> None:
+        self._drift[side] += amount
+        self._reported_this_round += amount
+        if self.round_base + self._reported_this_round >= 2 * self.round_base:
+            self.rebuild()
+            return
+        est_total = self._baseline_total + self._drift[0] + self._drift[1]
+        est_rank = self._baseline_rank + self._drift[SIDE_LEFT]
+        if abs(est_rank - self._phi * est_total) >= self._recenter_threshold():
+            self._recenter()
+
+    # -- interval splitting -------------------------------------------------
+
+    def _split(self, index: int) -> None:
+        """Split interval ``index`` near its median; exact child counts."""
+        partition = self.partition
+        interval = partition.interval(index)
+        lo, hi = interval.lo, interval.hi
+        if hi - lo < 2:
+            self._unsplittable[index] = True
+            return
+        replies = self.network.request_all(
+            Message(REQ_RANGE_SUMMARY, (lo, hi, _RANGE_PARTS))
+        )
+        summaries = [tuple(reply.payload) for reply in replies]
+        total_in, candidates, est_rank = merge_rank_estimator(summaries)
+        valid = [value for value in candidates if lo <= value <= hi - 2]
+        if total_in < 2 or not valid:
+            self._unsplittable[index] = True
+            partition.set_count(index, total_in)
+            return
+        separator = min(valid, key=lambda v: abs(est_rank(v) - total_in / 2))
+        count_replies = self.network.request_all(
+            Message(REQ_RANGE_COUNTS, (lo, separator, hi))
+        )
+        left = sum(int(reply.payload[0]) for reply in count_replies)
+        right = sum(int(reply.payload[1]) for reply in count_replies)
+        if left == 0 or right == 0:
+            self._unsplittable[index] = True
+            partition.set_count(index, left + right)
+            return
+        partition.split(index, separator, left, right)
+        self._unsplittable[index] = False
+        self._unsplittable.insert(index + 1, False)
+        self.splits += 1
+        self.network.broadcast(Message(MSG_SPLIT, (index, separator)))
+
+    # -- recentering -----------------------------------------------------
+
+    def _poll_rank(self, value: int) -> tuple[int, int, int]:
+        """Exact (count<value, count<=value, |A|) via one O(k) poll."""
+        replies = self.network.request_all(Message(REQ_RANK, value))
+        less = sum(int(reply.payload[0]) for reply in replies)
+        leq = sum(int(reply.payload[1]) for reply in replies)
+        total = sum(int(reply.payload[2]) for reply in replies)
+        return less, leq, total
+
+    def _acceptable(self, less: int, leq: int, total: int) -> bool:
+        """Two-sided check tolerant of ties: rank window hits the target."""
+        target = self._phi * total
+        slack = self._recenter_slack()
+        return less <= target + slack and leq >= target - slack
+
+    def _recenter(self) -> None:
+        """Move ``M`` back within ``εm/4`` of the target rank (exact polls)."""
+        self.recenters += 1
+        less, leq, total = self._poll_rank(self.tracked)
+        if not self._acceptable(less, leq, total):
+            target = self._phi * total
+            move_left = less > target  # overshoot: need a smaller value
+            separators = self.partition.separators()
+            position = bisect.bisect_left(separators, self.tracked)
+            if move_left:
+                candidates = separators[:position][::-1]
+                if not candidates or candidates[-1] != 1:
+                    candidates.append(1)
+            else:
+                candidates = [
+                    sep for sep in separators[position:] if sep != self.tracked
+                ]
+                top = self._params.universe_size
+                if self.tracked != top and (not candidates or candidates[-1] != top):
+                    candidates.append(top)
+            best = (self.tracked, less, leq, abs(
+                max(less - target, target - leq, 0)
+            ))
+            for candidate in candidates:
+                c_less, c_leq, c_total = self._poll_rank(candidate)
+                total = c_total
+                violation = max(
+                    c_less - self._phi * c_total,
+                    self._phi * c_total - c_leq,
+                    0,
+                )
+                if violation < best[3]:
+                    best = (candidate, c_less, c_leq, violation)
+                if self._acceptable(c_less, c_leq, c_total):
+                    break
+            self.tracked, less, leq, _ = best
+        self._baseline_rank = leq
+        self._baseline_total = total
+        self._drift = [0, 0]
+        self.network.broadcast(Message(MSG_RECENTER, self.tracked))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def estimated_total(self) -> int:
+        """Current estimate of ``|A|`` (lags by at most ``εm/4``)."""
+        return self._baseline_total + self._drift[0] + self._drift[1]

@@ -1,0 +1,20 @@
+"""Message kinds of the §3.1 quantile protocol (shared by both endpoints)."""
+
+# site -> coordinator pushes
+MSG_INTERVAL = "q.interval"  # (interval_index, amount): interval counter update
+MSG_DRIFT = "q.drift"  # (side, amount): arrivals left/right of M
+
+# coordinator -> site pushes
+MSG_REBUILD = "q.rebuild"  # (round_base, separators, M): new round state
+MSG_SPLIT = "q.split"  # (interval_index, separator): split an interval
+MSG_RECENTER = "q.recenter"  # (M,): new tracked quantile position
+
+# coordinator round-trip requests
+REQ_SUMMARY = "q.summary"  # () -> (local_total, bucket, separators)
+REQ_RANGE_SUMMARY = "q.range_summary"  # (lo, hi, parts) -> (count, bucket, seps)
+REQ_RANK = "q.rank"  # (x,) -> (less, leq, local_total)
+REQ_RANGE_COUNTS = "q.range_counts"  # (lo, mid, hi) -> (left, right)
+REQ_INTERVAL_COUNTS = "q.interval_counts"  # () -> per-interval exact counts
+
+SIDE_LEFT = 0
+SIDE_RIGHT = 1

@@ -1,0 +1,120 @@
+"""Public facade of the §3.1 single-quantile tracking protocol (Theorem 3.1).
+
+Usage::
+
+    from repro import QuantileProtocol, TrackingParams
+
+    protocol = QuantileProtocol(
+        TrackingParams(num_sites=8, epsilon=0.02), phi=0.5
+    )
+    for site_id, item in stream:
+        protocol.process(site_id, item)
+    median = protocol.quantile()
+
+Guarantee: at all times the returned value is a φ'-quantile of the full
+stream for some ``φ' ∈ [φ − ε, φ + ε]``.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.common.validation import require_phi
+from repro.core.quantile.coordinator import QuantileCoordinator
+from repro.core.quantile.site import QuantileSite, SketchQuantileSite
+from repro.network.protocol import ContinuousTrackingProtocol, Site
+
+
+class QuantileProtocol(ContinuousTrackingProtocol):
+    """Continuous φ-quantile tracking with cost ``O(k/ε · log n)``."""
+
+    def __init__(
+        self,
+        params: TrackingParams,
+        phi: float = 0.5,
+        use_sketch_sites: bool = False,
+        update_fraction: float = 0.5,
+    ) -> None:
+        """Create the protocol.
+
+        Args:
+            params: shared tracking parameters (``k``, ``ε``, universe).
+            phi: the quantile fraction to track (0.5 = median).
+            use_sketch_sites: replace exact per-site multisets with the
+                §3.1 Greenwald–Khanna small-space variant.
+            update_fraction: drift (as a fraction of ``ε·m``) that triggers
+                recentering ``M``; the paper's value is 1/2 (ablation A2).
+        """
+        require_phi(phi)
+        self._phi = phi
+        self._use_sketch_sites = use_sketch_sites
+        self._update_fraction = update_fraction
+        super().__init__(params)
+
+    @property
+    def phi(self) -> float:
+        """The tracked quantile fraction."""
+        return self._phi
+
+    def _build(self) -> None:
+        site_cls = SketchQuantileSite if self._use_sketch_sites else QuantileSite
+        self._sites = [
+            site_cls(site_id, self.network, self.params)
+            for site_id in range(self.params.num_sites)
+        ]
+        self._coordinator = QuantileCoordinator(
+            self.network,
+            self.params,
+            self._phi,
+            update_fraction=self._update_fraction,
+        )
+        self.network.bind(self._coordinator, self._sites)
+
+    def _site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        for site, items in zip(self._sites, per_site_items):
+            site.bootstrap(items)
+        self._coordinator.rebuild()
+
+    # -- queries -------------------------------------------------------------
+
+    def quantile(self) -> int:
+        """The coordinator's current approximate φ-quantile."""
+        if self.in_warmup:
+            ordered = sorted(
+                item for item, cnt in self._warmup_counts.items() for _ in range(cnt)
+            )
+            if not ordered:
+                raise IndexError("quantile queried before any arrival")
+            index = min(len(ordered) - 1, int(self._phi * len(ordered)))
+            return ordered[index]
+        return self._coordinator.tracked
+
+    @property
+    def estimated_total(self) -> int:
+        """The coordinator's current estimate of ``|A|``."""
+        if self.in_warmup:
+            return self.items_processed
+        return self._coordinator.estimated_total
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of full rebuilds (one per doubling of ``|A|``)."""
+        if self.in_warmup:
+            return 0
+        return self._coordinator.rounds_completed
+
+    @property
+    def recenters(self) -> int:
+        """Number of times ``M`` was re-examined after drift."""
+        if self.in_warmup:
+            return 0
+        return self._coordinator.recenters
+
+    @property
+    def splits(self) -> int:
+        """Number of interval splits performed."""
+        if self.in_warmup:
+            return 0
+        return self._coordinator.splits

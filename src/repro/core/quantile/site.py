@@ -1,0 +1,206 @@
+"""Site-side state of the §3.1 quantile protocol.
+
+Each site keeps its local multiset (exactly, in a sorted list, or — the
+small-space variant — in a Greenwald–Khanna sketch), mirrors the
+coordinator's interval boundaries, and pushes two families of counter
+updates:
+
+* per-interval arrival counts, every ``εm/4k`` arrivals into an interval,
+* left/right-of-``M`` drift counts, every ``εm/8k`` arrivals on a side.
+
+On request it ships equi-depth summaries: full summaries use the paper's
+``ε|Aj|/32`` bucket (global rank error ``εm/32``); split probes within an
+interval ``I`` use ``|Aj ∩ I|/8`` (error relative to ``I``).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.common.params import TrackingParams
+from repro.core.localstore import ExactLocalStore, GKLocalStore, LocalStore
+from repro.core.quantile.messages import (
+    MSG_DRIFT,
+    MSG_INTERVAL,
+    MSG_REBUILD,
+    MSG_RECENTER,
+    MSG_SPLIT,
+    REQ_INTERVAL_COUNTS,
+    REQ_RANGE_COUNTS,
+    REQ_RANGE_SUMMARY,
+    REQ_RANK,
+    REQ_SUMMARY,
+    SIDE_LEFT,
+    SIDE_RIGHT,
+)
+from repro.network.message import Message
+from repro.network.protocol import Site
+from repro.network.runtime import Network
+
+_SUMMARY_FRACTION = 32  # full-summary bucket: eps * |Aj| / 32 (§3.1)
+
+
+class QuantileSite(Site):
+    """Exact site endpoint: local items kept in a sorted list."""
+
+    def __init__(
+        self, site_id: int, network: Network, params: TrackingParams
+    ) -> None:
+        super().__init__(site_id, network)
+        self._params = params
+        self._store: LocalStore = self._make_store()
+        # Round state, installed by MSG_REBUILD:
+        self.round_base = 0  # m at round start
+        self._boundaries: list[int] = []  # interval boundaries incl. sentinels
+        self._interval_deltas: list[int] = []
+        self.tracked_position = 0  # M
+        self._drift = [0, 0]  # unreported arrivals left/right of M
+
+    def _make_store(self) -> LocalStore:
+        return ExactLocalStore()
+
+    @property
+    def local_total(self) -> int:
+        return self._store.total
+
+    # -- thresholds ---------------------------------------------------------
+
+    def _interval_trigger(self) -> int:
+        raw = self._params.epsilon * self.round_base / (4 * self._params.k)
+        return max(1, int(raw))
+
+    def _drift_trigger(self) -> int:
+        raw = self._params.epsilon * self.round_base / (8 * self._params.k)
+        return max(1, int(raw))
+
+    # -- arrivals ------------------------------------------------------------
+
+    def bootstrap(self, items: list[int]) -> None:
+        """Install the warm-up prefix as the local multiset."""
+        for item in items:
+            self._store.insert(item)
+
+    def observe(self, item: int) -> None:
+        self._store.insert(item)
+        if not self._boundaries:
+            return  # round state not installed yet (should not happen)
+        index = bisect.bisect_right(self._boundaries, item) - 1
+        index = min(max(index, 0), len(self._interval_deltas) - 1)
+        self._interval_deltas[index] += 1
+        if self._interval_deltas[index] >= self._interval_trigger():
+            amount = self._interval_deltas[index]
+            self._interval_deltas[index] = 0
+            self.send(Message(MSG_INTERVAL, (index, amount)))
+        side = SIDE_LEFT if item <= self.tracked_position else SIDE_RIGHT
+        self._drift[side] += 1
+        if self._drift[side] >= self._drift_trigger():
+            amount = self._drift[side]
+            self._drift[side] = 0
+            self.send(Message(MSG_DRIFT, (side, amount)))
+
+    # -- coordinator pushes --------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == MSG_REBUILD:
+            round_base, separators, tracked = message.payload
+            self.round_base = int(round_base)
+            universe = self._params.universe_size
+            bounds = [1]
+            for sep in separators:
+                boundary = int(sep) + 1
+                if bounds[-1] < boundary <= universe:
+                    bounds.append(boundary)
+            bounds.append(universe + 1)
+            self._boundaries = bounds
+            self._interval_deltas = [0] * (len(bounds) - 1)
+            self.tracked_position = int(tracked)
+            self._drift = [0, 0]
+            return
+        if message.kind == MSG_SPLIT:
+            index, separator = message.payload
+            self._boundaries.insert(int(index) + 1, int(separator) + 1)
+            self._interval_deltas[int(index)] = 0
+            self._interval_deltas.insert(int(index) + 1, 0)
+            return
+        if message.kind == MSG_RECENTER:
+            self.tracked_position = int(message.payload)
+            self._drift = [0, 0]
+            return
+        super().on_message(message)
+
+    # -- coordinator requests -------------------------------------------------
+
+    def on_request(self, message: Message) -> Message:
+        if message.kind == REQ_SUMMARY:
+            bucket = max(
+                1,
+                int(
+                    self._params.epsilon
+                    * self._store.total
+                    / _SUMMARY_FRACTION
+                ),
+            )
+            count, bucket, separators = self._store.summary(
+                1, self._params.universe_size + 1, bucket
+            )
+            return Message(REQ_SUMMARY, (count, bucket, separators))
+        if message.kind == REQ_RANGE_SUMMARY:
+            lo, hi, parts = message.payload
+            in_range = max(0, self._store.range_count(int(lo), int(hi)))
+            bucket = max(1, in_range // int(parts))
+            count, bucket, separators = self._store.summary(
+                int(lo), int(hi), bucket
+            )
+            return Message(REQ_RANGE_SUMMARY, (count, bucket, separators))
+        if message.kind == REQ_RANK:
+            item = int(message.payload)
+            return Message(
+                REQ_RANK,
+                (
+                    self._store.count_less(item),
+                    self._store.count_leq(item),
+                    self._store.total,
+                ),
+            )
+        if message.kind == REQ_RANGE_COUNTS:
+            lo, mid, hi = message.payload
+            left = self._store.range_count(int(lo), int(mid) + 1)
+            right = self._store.range_count(int(mid) + 1, int(hi))
+            return Message(REQ_RANGE_COUNTS, (left, right))
+        if message.kind == REQ_INTERVAL_COUNTS:
+            counts = [
+                self._store.range_count(
+                    self._boundaries[i], self._boundaries[i + 1]
+                )
+                for i in range(len(self._boundaries) - 1)
+            ]
+            return Message(REQ_INTERVAL_COUNTS, counts)
+        return super().on_request(message)
+
+
+class SketchQuantileSite(QuantileSite):
+    """§3.1 small-space variant: local order statistics from a GK sketch.
+
+    The site's rank and range answers become ``ε'``-approximate
+    (``ε' = ε/64`` so they stay within the protocol's constant slack); the
+    protocol's cost shape is unchanged while per-site space drops to
+    ``O(1/ε · log(εn))``.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        network: Network,
+        params: TrackingParams,
+        sketch_epsilon: float | None = None,
+    ) -> None:
+        self._sketch_epsilon = sketch_epsilon or params.epsilon / 64
+        super().__init__(site_id, network, params)
+
+    def _make_store(self) -> LocalStore:
+        return GKLocalStore(self._sketch_epsilon)
+
+    @property
+    def sketch(self):
+        """The site's local GK summary (exposed for space audits)."""
+        return self._store.sketch

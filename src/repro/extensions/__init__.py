@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's core results.
+
+§5 lists tracking within a *sliding window* as an open problem; this
+package ships the standard jumping-window relaxation built on top of the
+paper's protocols (see :mod:`repro.extensions.sliding_window`).
+"""
+
+from repro.extensions.sliding_window import (
+    JumpingWindowHeavyHitters,
+    JumpingWindowQuantiles,
+)
+
+__all__ = ["JumpingWindowHeavyHitters", "JumpingWindowQuantiles"]

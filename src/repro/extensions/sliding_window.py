@@ -1,0 +1,121 @@
+"""Jumping-window tracking: the §5 open problem, relaxed the standard way.
+
+The paper's protocols track statistics of *everything seen so far*; §5
+poses sliding-window tracking as an open problem (it still largely is, for
+optimal bounds). This module implements the classical *jumping window*
+relaxation on top of any of the paper's protocols:
+
+* keep two staggered protocol instances, restarted every ``window/2``
+  arrivals;
+* answer queries from the older live instance, whose coverage is always
+  between ``window/2`` and ``window`` of the most recent arrivals.
+
+Guarantee: answers are ε-correct *with respect to the covered suffix*,
+whose length is within a factor 2 of the requested window — the usual
+trade-off accepted by jumping-window systems. Communication doubles
+(every arrival feeds two instances), preserving the ``O(k/ε·log W)``
+shape per window of ``W`` arrivals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.params import TrackingParams
+from repro.common.validation import require_positive
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+
+
+class _JumpingWindow:
+    """Two staggered instances; the older one answers queries."""
+
+    def __init__(
+        self,
+        window: int,
+        factory: Callable[[], object],
+    ) -> None:
+        require_positive(window, "window")
+        if window < 2:
+            raise ValueError("window must be at least 2 arrivals")
+        self._window = window
+        self._factory = factory
+        self._half = max(1, window // 2)
+        self._older = factory()
+        self._older_count = 0
+        # The staggered successor is only started once the current instance
+        # reaches half a window, so at takeover it covers exactly window/2.
+        self._newer = None
+        self._newer_count = 0
+
+    @property
+    def window(self) -> int:
+        """The requested window length (arrivals)."""
+        return self._window
+
+    @property
+    def covered(self) -> int:
+        """Arrivals covered by the answering instance — in [W/2, W]."""
+        return self._older_count
+
+    def process(self, site_id: int, item: int) -> None:
+        """Feed one arrival to both live instances, jumping when due."""
+        self._older.process(site_id, item)
+        self._older_count += 1
+        if self._newer is not None:
+            self._newer.process(site_id, item)
+            self._newer_count += 1
+        if self._older_count >= self._window:
+            # The successor (at exactly window/2 coverage) takes over.
+            self._older = self._newer
+            self._older_count = self._newer_count
+            self._newer = None
+            self._newer_count = 0
+        if self._newer is None and self._older_count >= self._half:
+            self._newer = self._factory()
+            self._newer_count = 0
+
+    def process_stream(self, stream) -> None:
+        for site_id, item in stream:
+            self.process(site_id, item)
+
+    @property
+    def answering_instance(self):
+        """The protocol instance queries are served from."""
+        return self._older
+
+    @property
+    def total_words(self) -> int:
+        """Words spent by the live instances (discarded ones excluded)."""
+        words = self._older.stats.words
+        if self._newer is not None:
+            words += self._newer.stats.words
+        return words
+
+
+class JumpingWindowHeavyHitters(_JumpingWindow):
+    """φ-heavy hitters over (approximately) the last ``window`` arrivals."""
+
+    def __init__(self, window: int, params: TrackingParams) -> None:
+        super().__init__(window, lambda: HeavyHitterProtocol(params))
+        self.params = params
+
+    def heavy_hitters(self, phi: float) -> set[int]:
+        """ε-approximate φ-heavy hitters of the covered suffix."""
+        return self.answering_instance.heavy_hitters(phi)
+
+
+class JumpingWindowQuantiles(_JumpingWindow):
+    """All quantiles over (approximately) the last ``window`` arrivals."""
+
+    def __init__(self, window: int, params: TrackingParams) -> None:
+        super().__init__(window, lambda: AllQuantilesProtocol(params))
+        self.params = params
+
+    def quantile(self, phi: float) -> int:
+        """ε-approximate φ-quantile of the covered suffix."""
+        return self.answering_instance.quantile(phi)
+
+    def rank(self, item: int) -> int:
+        """ε-approximate rank of ``item`` within the covered suffix."""
+        return self.answering_instance.rank(item)

@@ -1,0 +1,24 @@
+"""Experiment harness: descriptors, scaling fits, and report formatting."""
+
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.registry import EXPERIMENTS, experiment_ids
+from repro.harness.report import ascii_table, format_number
+from repro.harness.scaling import (
+    doubling_ratios,
+    fit_log_r2,
+    fit_loglog_slope,
+    linear_r2,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "ascii_table",
+    "format_number",
+    "doubling_ratios",
+    "fit_log_r2",
+    "fit_loglog_slope",
+    "linear_r2",
+]

@@ -1,0 +1,48 @@
+"""Experiment descriptors and the shared run entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.report import ascii_table
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: a table plus claim-vs-measured notes."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def table(self) -> str:
+        """The result table rendered as fixed-width text."""
+        return ascii_table(self.headers, self.rows)
+
+    def render(self) -> str:
+        """Full human-readable report block."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+            self.table,
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
+    """Run one experiment by id (see :mod:`repro.harness.registry`)."""
+    from repro.harness.registry import EXPERIMENTS
+
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; have {known}")
+    return EXPERIMENTS[key](quick=quick)

@@ -1,0 +1,1 @@
+"""One module per reproduced claim; see DESIGN.md §4 for the index."""

@@ -1,0 +1,66 @@
+"""A1 — ablation: the heavy-hitter site trigger divisor.
+
+The §2.1 trigger is ``ε·Sj.m/(3k)``: the 3 splits the ε error budget so
+that ``C.m`` and every ``C.mx`` stay within ``εm/3`` and classification at
+margin ``−ε/3`` is always safe. This ablation sweeps the divisor: a lazier
+trigger (divisor 1) cuts communication but inflates the estimate error —
+and the continuous audit shows the guarantee start to fail — while an
+eager trigger (divisor 12) pays ~4x words for accuracy the guarantee does
+not need.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.harness.experiment import ExperimentResult
+from repro.oracle import audit_heavy_hitter_protocol
+from repro.workloads import make_stream, mixture_stream, round_robin_partitioner
+
+_UNIVERSE = 1 << 14
+_HEAVY = {90: 0.13, 4500: 0.105, 11111: 0.095}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 20_000 if quick else 80_000
+    k, epsilon, phi = 6, 0.05, 0.1
+    divisors = [1, 2, 3, 6, 12]
+    result = ExperimentResult(
+        experiment_id="A1",
+        title="Ablation: heavy-hitter trigger divisor (paper uses 3)",
+        paper_claim=(
+            "the eps/3 budget split makes classification at margin -eps/3 "
+            "safe; lazier triggers break the guarantee, eager ones only "
+            "cost more (§2.1 invariants (2),(3))"
+        ),
+        headers=["divisor", "words", "max err (frac)", "violations"],
+    )
+    stream = make_stream(
+        mixture_stream,
+        round_robin_partitioner,
+        n,
+        _UNIVERSE,
+        k,
+        seed=19,
+        heavy_items=_HEAVY,
+    )
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=_UNIVERSE)
+    for divisor in divisors:
+        protocol = HeavyHitterProtocol(params, trigger_divisor=divisor)
+        report = audit_heavy_hitter_protocol(
+            protocol, stream, phi=phi, checkpoint_every=max(200, n // 60)
+        )
+        result.rows.append(
+            [
+                divisor,
+                protocol.stats.words,
+                report.max_error,
+                len(report.violations),
+            ]
+        )
+    result.notes.append(
+        "words scale ~linearly with the divisor; divisors below 3 shrink "
+        "the slack the classification margin relies on (violations can "
+        "appear on borderline items), matching the paper's choice of 3"
+    )
+    return result

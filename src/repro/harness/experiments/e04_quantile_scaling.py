@@ -1,0 +1,66 @@
+"""E4 — Theorem 3.1: single-quantile cost scales as ``O(k/ε · log n)``."""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runners import quantile_run
+from repro.harness.scaling import fit_log_r2, fit_loglog_slope
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Single-quantile (median) communication scaling",
+        paper_claim="total cost O(k/eps * log n)  [Theorem 3.1]",
+        headers=["sweep", "value", "messages", "words", "words/(k/eps*ln n)"],
+    )
+    sizes = [20_000, 40_000, 80_000] if quick else [25_000, 50_000, 100_000, 200_000]
+    k0, eps0 = 8, 0.05
+    words_n = []
+    for n in sizes:
+        _protocol, totals = quantile_run(n=n, k=k0, epsilon=eps0)
+        normaliser = (k0 / eps0) * math.log(n)
+        result.rows.append(
+            ["n", n, totals.messages, totals.words, totals.words / normaliser]
+        )
+        words_n.append(totals.words)
+    ks = [2, 4, 8, 16] if quick else [2, 4, 8, 16, 32]
+    n_fixed = sizes[-1]
+    words_k = []
+    for k in ks:
+        _protocol, totals = quantile_run(n=n_fixed, k=k, epsilon=eps0)
+        normaliser = (k / eps0) * math.log(n_fixed)
+        result.rows.append(
+            ["k", k, totals.messages, totals.words, totals.words / normaliser]
+        )
+        words_k.append(totals.words)
+    epsilons = [0.1, 0.05, 0.025] if quick else [0.1, 0.05, 0.025, 0.0125]
+    words_e = []
+    for epsilon in epsilons:
+        _protocol, totals = quantile_run(n=n_fixed, k=k0, epsilon=epsilon)
+        normaliser = (k0 / epsilon) * math.log(n_fixed)
+        result.rows.append(
+            [
+                "eps",
+                epsilon,
+                totals.messages,
+                totals.words,
+                totals.words / normaliser,
+            ]
+        )
+        words_e.append(totals.words)
+    log_b, log_r2 = fit_log_r2(sizes, words_n)
+    slope_k, r2_k = fit_loglog_slope(ks, words_k)
+    slope_e, r2_e = fit_loglog_slope(
+        [1 / epsilon for epsilon in epsilons], words_e
+    )
+    result.notes.append(
+        f"vs n: words = a + b*ln n with r2={log_r2:.3f} (logarithmic)"
+    )
+    result.notes.append(
+        f"vs k: log-log slope {slope_k:.2f} (r2={r2_k:.3f}); "
+        f"vs 1/eps: slope {slope_e:.2f} (r2={r2_e:.3f}); both ~1 => linear"
+    )
+    return result

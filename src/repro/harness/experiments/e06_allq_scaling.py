@@ -1,0 +1,76 @@
+"""E6 — Theorem 4.1: all-quantile cost ``O(k/ε · log n · log²(1/ε))``."""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runners import all_quantiles_run
+from repro.harness.scaling import fit_log_r2, fit_loglog_slope
+
+
+def _normaliser(n: int, k: int, epsilon: float) -> float:
+    return (k / epsilon) * math.log(n) * math.log2(1 / epsilon) ** 2
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="All-quantiles communication scaling",
+        paper_claim="total cost O(k/eps * log n * log^2(1/eps))  [Theorem 4.1]",
+        headers=["sweep", "value", "messages", "words", "words/bound"],
+    )
+    k0, eps0 = 8, 0.1
+    sizes = [15_000, 30_000, 60_000] if quick else [25_000, 50_000, 100_000, 200_000]
+    words_n = []
+    for n in sizes:
+        _protocol, totals = all_quantiles_run(n=n, k=k0, epsilon=eps0)
+        result.rows.append(
+            [
+                "n",
+                n,
+                totals.messages,
+                totals.words,
+                totals.words / _normaliser(n, k0, eps0),
+            ]
+        )
+        words_n.append(totals.words)
+    epsilons = [0.2, 0.1, 0.05] if quick else [0.2, 0.1, 0.05, 0.025]
+    n_fixed = sizes[-1]
+    words_e = []
+    for epsilon in epsilons:
+        _protocol, totals = all_quantiles_run(n=n_fixed, k=k0, epsilon=epsilon)
+        result.rows.append(
+            [
+                "eps",
+                epsilon,
+                totals.messages,
+                totals.words,
+                totals.words / _normaliser(n_fixed, k0, epsilon),
+            ]
+        )
+        words_e.append(totals.words)
+    ks = [2, 4, 8] if quick else [2, 4, 8, 16]
+    words_k = []
+    for k in ks:
+        _protocol, totals = all_quantiles_run(n=n_fixed, k=k, epsilon=eps0)
+        result.rows.append(
+            [
+                "k",
+                k,
+                totals.messages,
+                totals.words,
+                totals.words / _normaliser(n_fixed, k, eps0),
+            ]
+        )
+        words_k.append(totals.words)
+    log_b, log_r2 = fit_log_r2(sizes, words_n)
+    slope_e, r2_e = fit_loglog_slope(
+        [1 / epsilon for epsilon in epsilons], words_e
+    )
+    result.notes.append(
+        f"vs n: logarithmic fit r2={log_r2:.3f}; vs 1/eps: log-log slope "
+        f"{slope_e:.2f} (r2={r2_e:.3f}), expected ~1 + polylog drift; "
+        "words/bound column should stay roughly flat across all sweeps"
+    )
+    return result

@@ -1,0 +1,69 @@
+"""E7 — the headline separation: ours vs Cormode et al. 2005 ([7]).
+
+The paper improves the all-quantile tracking cost from ``O(k/ε² · log n)``
+to ``O(k/ε · log n · polylog(1/ε))``: the cost *ratio* should therefore
+grow like ``Θ(1/ε)`` (up to polylogs) as ``ε`` shrinks, with our protocol
+winning everywhere except very coarse ``ε``.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.baselines import CGMR05Protocol
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runners import all_quantiles_run, drive
+from repro.workloads import make_stream, round_robin_partitioner, uniform_stream
+
+_UNIVERSE = 1 << 16
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 40_000 if quick else 150_000
+    k = 8
+    epsilons = [0.2, 0.1, 0.05, 0.025] if quick else [0.2, 0.1, 0.05, 0.025, 0.0125]
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="All-quantiles: this paper vs CGMR05 summary shipping",
+        paper_claim=(
+            "ours O(k/eps log n polylog(1/eps)) vs [7]'s O(k/eps^2 log n): "
+            "ratio grows ~1/eps as eps shrinks"
+        ),
+        headers=["eps", "ours (words)", "cgmr05 (words)", "cgmr05/ours"],
+    )
+    ratios = []
+    for epsilon in epsilons:
+        _ours, ours_totals = all_quantiles_run(n=n, k=k, epsilon=epsilon)
+        baseline = CGMR05Protocol(
+            TrackingParams(num_sites=k, epsilon=epsilon, universe_size=_UNIVERSE)
+        )
+        stream = make_stream(
+            uniform_stream, round_robin_partitioner, n, _UNIVERSE, k, seed=0
+        )
+        baseline_totals = drive(baseline, stream)
+        ratio = baseline_totals.words / max(1, ours_totals.words)
+        ratios.append(ratio)
+        result.rows.append(
+            [epsilon, ours_totals.words, baseline_totals.words, ratio]
+        )
+    if len(ratios) >= 2 and ratios[-1] > ratios[0]:
+        per_halving = (ratios[-1] / ratios[0]) ** (1 / (len(ratios) - 1))
+        result.notes.append(
+            f"cgmr05/ours cost ratio grows from {ratios[0]:.2f} at "
+            f"eps={epsilons[0]} to {ratios[-1]:.2f} at eps={epsilons[-1]} "
+            f"(x{per_halving:.2f} per eps halving) — the Theta(1/eps) "
+            "separation of the paper, asymptotically"
+        )
+        if ratios[-1] < 1:
+            # ratio ~ c/eps => ratio reaches 1 at eps ~ eps_last * ratio_last.
+            crossover = epsilons[-1] * ratios[-1]
+            result.notes.append(
+                "at these small streams our constants (the log^2(1/eps) "
+                "machinery) still dominate — extrapolating the measured "
+                f"growth, ours wins in absolute words below eps ~ "
+                f"{crossover:.3f}"
+            )
+    else:
+        result.notes.append(
+            "WARNING: expected the cost ratio to grow as eps shrinks"
+        )
+    return result

@@ -1,0 +1,84 @@
+"""E8 — Figure 1: structural invariants of the all-quantiles tree.
+
+The paper's figure annotates three properties, each checked here against
+the live tree after a long run: Θ(1/ε) leaves each holding Θ(εm) items,
+height Θ(log 1/ε), and per-node counts within ``θm`` of truth
+(``θ = ε/(2h)``, i.e. error below ``εm/log(1/ε)`` per node)."""
+
+from __future__ import annotations
+
+from repro.core.all_quantiles.tree import height_bound
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runners import all_quantiles_run
+from repro.oracle import ExactTracker
+from repro.workloads import make_stream, round_robin_partitioner, uniform_stream
+
+_UNIVERSE = 1 << 16
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 40_000 if quick else 150_000
+    k = 8
+    epsilons = [0.2, 0.1, 0.05] if quick else [0.2, 0.1, 0.05, 0.025]
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Figure 1: all-quantiles tree structure",
+        paper_claim=(
+            "Theta(1/eps) leaves of <= eps*m/2 items, height Theta(log 1/eps), "
+            "node-count error < theta*m"
+        ),
+        headers=[
+            "eps",
+            "leaves",
+            "1/eps",
+            "height",
+            "h bound",
+            "max leaf frac",
+            "max count err frac",
+            "theta",
+        ],
+    )
+    for epsilon in epsilons:
+        protocol, _totals = all_quantiles_run(
+            n=n, k=k, epsilon=epsilon, universe=_UNIVERSE
+        )
+        # Rebuild ground truth to measure true per-node counts.
+        oracle = ExactTracker(_UNIVERSE)
+        stream = make_stream(
+            uniform_stream, round_robin_partitioner, n, _UNIVERSE, k, seed=0
+        )
+        for _site, item in stream:
+            oracle.update(item)
+        tree = protocol.tree
+        m = protocol._coordinator.round_base
+        leaves = tree.leaves()
+        max_leaf = max(
+            (oracle.rank_leq(leaf.hi - 1) - oracle.rank_less(leaf.lo))
+            for leaf in leaves
+        )
+        max_err = max(
+            abs(
+                node.su
+                - (oracle.rank_leq(node.hi - 1) - oracle.rank_less(node.lo))
+            )
+            for node in tree.nodes.values()
+        )
+        theta = protocol._coordinator.theta
+        result.rows.append(
+            [
+                epsilon,
+                len(leaves),
+                1 / epsilon,
+                tree.height(),
+                height_bound(epsilon),
+                max_leaf / m,
+                max_err / m,
+                theta,
+            ]
+        )
+    result.notes.append(
+        "leaves track Theta(1/eps); height stays under the Theta(log 1/eps) "
+        "cap; every leaf holds at most ~eps/2 of the round base m; every "
+        "node count is within theta*m of the exact interval count"
+    )
+    return result

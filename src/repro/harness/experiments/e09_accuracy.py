@@ -1,0 +1,118 @@
+"""E9 — the at-all-times guarantee: continuous audits of all protocols.
+
+Every protocol's defining property is that its answer is ε-correct at
+*every* time step, not just at the end. This experiment replays hostile
+workload/partitioner combinations, auditing against the exact oracle at
+fixed checkpoints, and reports the worst error ever observed.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.harness.experiment import ExperimentResult
+from repro.oracle import (
+    audit_heavy_hitter_protocol,
+    audit_quantile_protocol,
+    audit_rank_protocol,
+)
+from repro.workloads import (
+    hash_partitioner,
+    make_stream,
+    mixture_stream,
+    round_robin_partitioner,
+    shifting_stream,
+    skewed_partitioner,
+    uniform_stream,
+)
+
+_UNIVERSE = 1 << 14
+_HEAVY = {100: 0.12, 2000: 0.08, 30000 % _UNIVERSE: 0.06}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 15_000 if quick else 60_000
+    k, epsilon, phi = 6, 0.05, 0.1
+    checkpoint = max(200, n // 60)
+    result = ExperimentResult(
+        experiment_id="E9",
+        title="Continuous accuracy audit (all protocols, hostile partitions)",
+        paper_claim="answers are eps-correct at ALL times (Thms 2.1/3.1/4.1)",
+        headers=[
+            "protocol",
+            "partitioner",
+            "checkpoints",
+            "max err (frac)",
+            "violations",
+        ],
+    )
+    partitioners = {
+        "round-robin": round_robin_partitioner,
+        "hash": hash_partitioner,
+        "skewed": skewed_partitioner,
+    }
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=_UNIVERSE)
+    for name, partitioner in partitioners.items():
+        stream = make_stream(
+            mixture_stream,
+            partitioner,
+            n,
+            _UNIVERSE,
+            k,
+            seed=7,
+            heavy_items=_HEAVY,
+        )
+        protocol = HeavyHitterProtocol(params)
+        report = audit_heavy_hitter_protocol(
+            protocol, stream, phi=phi, checkpoint_every=checkpoint
+        )
+        result.rows.append(
+            [
+                "heavy-hitters",
+                name,
+                report.checkpoints,
+                report.max_error,
+                len(report.violations),
+            ]
+        )
+    for name, partitioner in partitioners.items():
+        stream = make_stream(
+            shifting_stream, partitioner, n, _UNIVERSE, k, seed=11
+        )
+        protocol = QuantileProtocol(params, phi=0.5)
+        report = audit_quantile_protocol(
+            protocol, stream, checkpoint_every=checkpoint
+        )
+        result.rows.append(
+            [
+                "median",
+                name,
+                report.checkpoints,
+                report.max_error,
+                len(report.violations),
+            ]
+        )
+    probes = [1 << 4, 1 << 8, 1 << 11, 1 << 13, _UNIVERSE - 5]
+    for name, partitioner in partitioners.items():
+        stream = make_stream(
+            uniform_stream, partitioner, n, _UNIVERSE, k, seed=13
+        )
+        protocol = AllQuantilesProtocol(params)
+        report = audit_rank_protocol(
+            protocol, stream, probe_values=probes, checkpoint_every=checkpoint
+        )
+        result.rows.append(
+            [
+                "all-quantiles",
+                name,
+                report.checkpoints,
+                report.max_error,
+                len(report.violations),
+            ]
+        )
+    result.notes.append(
+        "violations must be 0 everywhere; max err stays below eps=0.05"
+    )
+    return result

@@ -1,0 +1,107 @@
+"""E10 — §2.1/§3.1 small-space remarks: sketch-backed sites.
+
+Replacing exact per-site state with SpaceSaving (heavy hitters) or
+Greenwald–Khanna (quantiles) must keep the communication shape intact while
+capping per-site memory at ``O(1/ε)`` / ``O(1/ε·log(εn))`` entries.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runners import drive
+from repro.oracle import audit_heavy_hitter_protocol, audit_quantile_protocol
+from repro.workloads import (
+    make_stream,
+    mixture_stream,
+    round_robin_partitioner,
+    uniform_stream,
+)
+
+_UNIVERSE = 1 << 14
+_HEAVY = {500: 0.15, 9000: 0.09}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 15_000 if quick else 60_000
+    k, epsilon = 6, 0.05
+    checkpoint = max(300, n // 40)
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=_UNIVERSE)
+    result = ExperimentResult(
+        experiment_id="E10",
+        title="Small-space variants: sketch-backed sites",
+        paper_claim=(
+            "SpaceSaving sites: O(1/eps) space, same O(k/eps log n) cost; "
+            "GK sites: O(1/eps log(eps n)) space, same cost (§2.1, §3.1)"
+        ),
+        headers=[
+            "protocol",
+            "sites",
+            "words",
+            "max err",
+            "violations",
+            "max site entries",
+        ],
+    )
+    hh_stream = make_stream(
+        mixture_stream,
+        round_robin_partitioner,
+        n,
+        _UNIVERSE,
+        k,
+        seed=3,
+        heavy_items=_HEAVY,
+    )
+    for label, use_sketch in (("exact", False), ("spacesaving", True)):
+        protocol = HeavyHitterProtocol(params, use_sketch_sites=use_sketch)
+        report = audit_heavy_hitter_protocol(
+            protocol, list(hh_stream), phi=0.12, checkpoint_every=checkpoint
+        )
+        if use_sketch:
+            space = max(
+                len(site.sketch.items()) for site in protocol._sites
+            )
+        else:
+            space = max(
+                len(site.delta_items) for site in protocol._sites
+            )
+        result.rows.append(
+            [
+                "heavy-hitters",
+                label,
+                protocol.stats.words,
+                report.max_error,
+                len(report.violations),
+                space,
+            ]
+        )
+    q_stream = make_stream(
+        uniform_stream, round_robin_partitioner, n, _UNIVERSE, k, seed=5
+    )
+    for label, use_sketch in (("exact", False), ("gk", True)):
+        protocol = QuantileProtocol(params, phi=0.5, use_sketch_sites=use_sketch)
+        report = audit_quantile_protocol(
+            protocol, list(q_stream), checkpoint_every=checkpoint
+        )
+        if use_sketch:
+            space = max(site.sketch.tuple_count for site in protocol._sites)
+        else:
+            space = max(site.local_total for site in protocol._sites)
+        result.rows.append(
+            [
+                "median",
+                label,
+                protocol.stats.words,
+                report.max_error,
+                len(report.violations),
+                space,
+            ]
+        )
+    result.notes.append(
+        "sketch-backed sites keep communication within a small constant of "
+        "the exact variant while storing far fewer entries per site; the GK "
+        "variant trades a small accuracy slack (constants, per the paper)"
+    )
+    return result

@@ -1,0 +1,49 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.experiments import (
+    a01_hh_trigger,
+    a02_quantile_drift,
+    a03_allq_theta,
+    e01_hh_vs_n,
+    e02_hh_vs_k_eps,
+    e03_hh_lower,
+    e04_quantile_scaling,
+    e05_median_lower,
+    e06_allq_scaling,
+    e07_vs_cgmr05,
+    e08_tree_structure,
+    e09_accuracy,
+    e10_sketch_sites,
+    e11_sampling,
+    e12_oneshot_gap,
+    e13_heuristic_topk,
+)
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e01_hh_vs_n.run,
+    "E2": e02_hh_vs_k_eps.run,
+    "E3": e03_hh_lower.run,
+    "E4": e04_quantile_scaling.run,
+    "E5": e05_median_lower.run,
+    "E6": e06_allq_scaling.run,
+    "E7": e07_vs_cgmr05.run,
+    "E8": e08_tree_structure.run,
+    "E9": e09_accuracy.run,
+    "E10": e10_sketch_sites.run,
+    "E11": e11_sampling.run,
+    "E12": e12_oneshot_gap.run,
+    "E13": e13_heuristic_topk.run,
+    "A1": a01_hh_trigger.run,
+    "A2": a02_quantile_drift.run,
+    "A3": a03_allq_theta.run,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All experiment ids: reproductions (E*) first, then ablations (A*)."""
+    return sorted(EXPERIMENTS, key=lambda eid: (eid[0] != "E", int(eid[1:])))

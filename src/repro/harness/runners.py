@@ -1,0 +1,82 @@
+"""Shared measurement helpers used by the experiment modules."""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.network.accounting import CommSnapshot
+from repro.workloads import (
+    make_stream,
+    round_robin_partitioner,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+def drive(protocol, stream) -> CommSnapshot:
+    """Feed a whole stream through a protocol; returns final comm totals."""
+    protocol.process_stream(stream)
+    return protocol.stats.snapshot()
+
+
+def hh_run(
+    n: int,
+    k: int,
+    epsilon: float,
+    seed: int = 0,
+    skew: float = 1.2,
+    universe: int = 1 << 16,
+    use_sketch_sites: bool = False,
+) -> tuple[HeavyHitterProtocol, CommSnapshot]:
+    """Run the heavy-hitter protocol on a Zipf stream; return it + totals."""
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=universe)
+    protocol = HeavyHitterProtocol(params, use_sketch_sites=use_sketch_sites)
+    stream = make_stream(
+        zipf_stream,
+        round_robin_partitioner,
+        n,
+        universe,
+        k,
+        seed=seed,
+        skew=skew,
+    )
+    return protocol, drive(protocol, stream)
+
+
+def quantile_run(
+    n: int,
+    k: int,
+    epsilon: float,
+    phi: float = 0.5,
+    seed: int = 0,
+    universe: int = 1 << 16,
+    use_sketch_sites: bool = False,
+) -> tuple[QuantileProtocol, CommSnapshot]:
+    """Run the single-quantile protocol on a uniform stream."""
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=universe)
+    protocol = QuantileProtocol(
+        params, phi=phi, use_sketch_sites=use_sketch_sites
+    )
+    stream = make_stream(
+        uniform_stream, round_robin_partitioner, n, universe, k, seed=seed
+    )
+    return protocol, drive(protocol, stream)
+
+
+def all_quantiles_run(
+    n: int,
+    k: int,
+    epsilon: float,
+    seed: int = 0,
+    universe: int = 1 << 16,
+    use_sketch_sites: bool = False,
+) -> tuple[AllQuantilesProtocol, CommSnapshot]:
+    """Run the all-quantiles protocol on a uniform stream."""
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=universe)
+    protocol = AllQuantilesProtocol(params, use_sketch_sites=use_sketch_sites)
+    stream = make_stream(
+        uniform_stream, round_robin_partitioner, n, universe, k, seed=seed
+    )
+    return protocol, drive(protocol, stream)

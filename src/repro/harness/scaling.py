@@ -1,0 +1,71 @@
+"""Shape tests for scaling experiments.
+
+The reproduction checks the *shape* of each cost curve — logarithmic in
+``n``, linear in ``k`` and ``1/ε`` — rather than absolute constants, so
+these helpers fit the two candidate models and report goodness of fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_arrays(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    return x, y
+
+
+def _r2(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    if total == 0:
+        return 1.0
+    return 1 - residual / total
+
+
+def fit_loglog_slope(xs, ys) -> tuple[float, float]:
+    """Fit ``y = c·x^slope``; returns ``(slope, r²)`` in log-log space.
+
+    Slope ≈ 1 means linear scaling, ≈ 0 sub-polynomial (e.g. logarithmic),
+    ≈ 2 quadratic.
+    """
+    x, y = _as_arrays(xs, ys)
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    return float(slope), _r2(ly, slope * lx + intercept)
+
+
+def fit_log_r2(xs, ys) -> tuple[float, float]:
+    """Fit ``y = a + b·log(x)``; returns ``(b, r²)``.
+
+    An r² near 1 with positive ``b`` is the signature of ``Θ(log n)`` cost
+    growth.
+    """
+    x, y = _as_arrays(xs, ys)
+    lx = np.log(x)
+    b, a = np.polyfit(lx, y, 1)
+    return float(b), _r2(y, a + b * lx)
+
+
+def linear_r2(xs, ys) -> tuple[float, float]:
+    """Fit ``y = a + b·x``; returns ``(b, r²)``."""
+    x, y = _as_arrays(xs, ys)
+    b, a = np.polyfit(x, y, 1)
+    return float(b), _r2(y, a + b * x)
+
+
+def doubling_ratios(ys) -> list[float]:
+    """Successive ratios ``y[i+1]/y[i]`` (for doubling-parameter sweeps).
+
+    Ratios near 2 mean linear growth in the doubled parameter; near 1 mean
+    the cost barely depends on it (e.g. only through a log factor).
+    """
+    values = list(ys)
+    return [
+        values[index + 1] / values[index]
+        for index in range(len(values) - 1)
+        if values[index] > 0
+    ]

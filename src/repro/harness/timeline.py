@@ -1,0 +1,81 @@
+"""Communication-over-time series and ASCII rendering.
+
+The protocols' costs are *bursty by design*: per-round rebuild spikes at
+geometrically spaced stream positions, a trickle of counter updates in
+between. This module samples a protocol's ledger as a stream replays and
+renders the series as a sparkline, making the round structure visible in
+terminal output (used by the timeline example and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Ledger state at one sampled stream position."""
+
+    items: int
+    messages: int
+    words: int
+
+
+def record_timeline(protocol, stream, samples: int = 64) -> list[TimelinePoint]:
+    """Replay ``stream`` through ``protocol``, sampling the ledger.
+
+    Returns ``samples + 1`` points (including the initial zero point), at
+    evenly spaced stream positions.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples!r}")
+    total = len(stream)
+    step = max(1, total // samples)
+    points = [TimelinePoint(0, 0, 0)]
+    for start in range(0, total, step):
+        for site_id, item in stream[start : start + step]:
+            protocol.process(site_id, item)
+        snap = protocol.stats.snapshot()
+        points.append(
+            TimelinePoint(
+                items=min(start + step, total),
+                messages=snap.messages,
+                words=snap.words,
+            )
+        )
+    return points
+
+
+def words_per_interval(points: list[TimelinePoint]) -> list[int]:
+    """Incremental words between consecutive samples."""
+    return [
+        current.words - previous.words
+        for previous, current in zip(points, points[1:])
+    ]
+
+
+def sparkline(values: list[float]) -> str:
+    """Render values as a unicode bar sparkline (empty input allowed)."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _BARS[0] * len(values)
+    scale = len(_BARS) - 1
+    return "".join(
+        _BARS[min(scale, int(value / top * scale + 0.5))] for value in values
+    )
+
+
+def render_timeline(points: list[TimelinePoint], label: str = "words") -> str:
+    """Multi-line text block: sparkline plus axis annotations."""
+    deltas = words_per_interval(points)
+    total = points[-1].words if points else 0
+    lines = [
+        f"{label}/interval: {sparkline([float(d) for d in deltas])}",
+        f"items: 0 .. {points[-1].items:,}   total {label}: {total:,}   "
+        f"peak interval: {max(deltas) if deltas else 0:,}",
+    ]
+    return "\n".join(lines)

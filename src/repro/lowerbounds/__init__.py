@@ -1,0 +1,41 @@
+"""Lower-bound machinery: the paper's adversarial constructions.
+
+* :mod:`repro.lowerbounds.hh_stream` — Lemma 2.2's stream forcing
+  ``Ω(log n / ε)`` heavy-hitter set changes.
+* :mod:`repro.lowerbounds.median_stream` — §3.2's two-value stream forcing
+  ``Ω(log n / ε)`` median changes.
+* :mod:`repro.lowerbounds.adversary` — Lemma 2.3's threshold adversary that
+  routes items to force ``Ω(k)`` messages per change.
+"""
+
+from repro.lowerbounds.adversary import ThresholdAdversary
+from repro.lowerbounds.threshold_game import (
+    CheatingDetector,
+    CorrectDetector,
+    GameOutcome,
+    play_adversarial,
+    play_spread,
+)
+from repro.lowerbounds.hh_stream import (
+    count_heavy_hitter_changes,
+    lemma22_epsilon,
+    lemma22_stream,
+)
+from repro.lowerbounds.median_stream import (
+    count_median_changes,
+    median_lower_bound_stream,
+)
+
+__all__ = [
+    "ThresholdAdversary",
+    "CheatingDetector",
+    "CorrectDetector",
+    "GameOutcome",
+    "play_adversarial",
+    "play_spread",
+    "count_heavy_hitter_changes",
+    "lemma22_epsilon",
+    "lemma22_stream",
+    "count_median_changes",
+    "median_lower_bound_stream",
+]

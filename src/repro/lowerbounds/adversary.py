@@ -1,0 +1,81 @@
+"""Lemma 2.3: the threshold adversary forcing ``Ω(k)`` messages per change.
+
+Deterministic protocols expose, at any instant, a per-site *triggering
+threshold*: the number of copies of an item a site can absorb before it
+must communicate. Because the thresholds must sum below the batch size
+(else the whole batch could be absorbed silently and the change missed),
+some site always has a threshold at most ``2·batch/k`` — the adversary
+feeds exactly that site, repeating ``Ω(k)`` times per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.heavy_hitters.protocol import HeavyHitterProtocol
+
+
+@dataclass(frozen=True)
+class AdversaryOutcome:
+    """Result of delivering one batch adversarially."""
+
+    messages_triggered: int
+    words_triggered: int
+    sites_touched: int
+    deliveries: int
+
+
+class ThresholdAdversary:
+    """Routes copies of a single item to minimise the protocol's slack.
+
+    At every step the adversary inspects all current triggering thresholds
+    (sanctioned for deterministic algorithms — Lemma 2.3) and sends the
+    next copies to the site that is closest to being forced to speak.
+    """
+
+    def __init__(self, protocol: HeavyHitterProtocol) -> None:
+        self._protocol = protocol
+
+    def deliver_batch(self, item: int, copies: int) -> AdversaryOutcome:
+        """Deliver ``copies`` of ``item``, always targeting the weakest site.
+
+        Returns the communication the protocol was forced into.
+        """
+        protocol = self._protocol
+        k = protocol.params.num_sites
+        before = protocol.stats.snapshot()
+        touched: set[int] = set()
+        remaining = copies
+        while remaining > 0:
+            thresholds = [
+                protocol.site_trigger_threshold(site_id, item)
+                for site_id in range(k)
+            ]
+            target = min(range(k), key=thresholds.__getitem__)
+            burst = min(remaining, thresholds[target])
+            for _ in range(burst):
+                protocol.process(target, item)
+            touched.add(target)
+            remaining -= burst
+        delta = protocol.stats.snapshot() - before
+        return AdversaryOutcome(
+            messages_triggered=delta.messages,
+            words_triggered=delta.words,
+            sites_touched=len(touched),
+            deliveries=copies,
+        )
+
+    def deliver_round_robin(self, item: int, copies: int) -> AdversaryOutcome:
+        """Non-adversarial control: spread the batch evenly over sites."""
+        protocol = self._protocol
+        k = protocol.params.num_sites
+        before = protocol.stats.snapshot()
+        for index in range(copies):
+            protocol.process(index % k, item)
+        delta = protocol.stats.snapshot() - before
+        return AdversaryOutcome(
+            messages_triggered=delta.messages,
+            words_triggered=delta.words,
+            sites_touched=min(k, copies),
+            deliveries=copies,
+        )

@@ -1,0 +1,126 @@
+"""Lemma 2.2: a stream whose heavy-hitter set changes ``Ω(log n / ε)`` times.
+
+Construction (following the paper's proof): two groups of
+``l = 1/(2φ − ε′)`` items alternate roles every round. At the start of
+round ``i`` the current "heavy" group sits at frequency ``φ·m_i`` each and
+the other group at ``(φ − ε′)·m_i``; the round appends ``β·m_i`` copies of
+each light item (``β = ε′(2φ−ε′)/(φ−ε′)``), which pushes every light item
+up through the ``[(φ−ε)m, φm]`` transition window — ``l`` changes per
+round, with ``m`` growing by only a ``φ/(φ−ε′)`` factor per round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+def lemma22_epsilon(l: int, phi: float) -> float:
+    """The ``ε`` for which the construction with group size ``l`` is exact.
+
+    The proof needs ``l = 1/(2φ − ε′)`` with ``ε′ = 2ε`` an exact integer;
+    given integer ``l`` and ``φ``, solve for ``ε = (2φ − 1/l)/2``.
+    """
+    if l < 1:
+        raise ConfigurationError(f"group size l must be >= 1, got {l!r}")
+    epsilon = (2 * phi - 1 / l) / 2
+    if not 0 < epsilon < phi / 3:
+        raise ConfigurationError(
+            f"l={l}, phi={phi} gives epsilon={epsilon:.4f}, outside the "
+            f"lemma's range 0 < eps < phi/3"
+        )
+    return epsilon
+
+
+@dataclass(frozen=True)
+class TransitionWindow:
+    """The arrival-index window in which one item's change must be noticed.
+
+    ``item`` transitions from non-heavy to heavy somewhere inside
+    ``[start_index, end_index)`` of the generated stream.
+    """
+
+    item: int
+    start_index: int
+    end_index: int
+    round_index: int
+
+
+def lemma22_stream(
+    l: int, phi: float, n_target: int
+) -> tuple[list[int], list[TransitionWindow], float]:
+    """Generate the Lemma 2.2 stream up to roughly ``n_target`` items.
+
+    Returns ``(items, transition_windows, epsilon)``. Items are the
+    integers ``1..2l`` (group S0 = 1..l, group S1 = l+1..2l).
+    """
+    epsilon = lemma22_epsilon(l, phi)
+    eps_prime = 2 * epsilon
+    beta = eps_prime * (2 * phi - eps_prime) / (phi - eps_prime)
+
+    # Initial prefix: S0 at phi*m0 each, S1 at (phi - eps') * m0 each.
+    # Choose m0 so all the initial counts are integers >= 1.
+    scale = max(1, math.ceil(1 / (phi - eps_prime)), math.ceil(1 / beta))
+    m0 = scale * l * 4
+    heavy_count = round(phi * m0)
+    light_count = round((phi - eps_prime) * m0)
+    items: list[int] = []
+    for item in range(1, l + 1):  # S0: heavy at start of round 0
+        items.extend([item] * heavy_count)
+    for item in range(l + 1, 2 * l + 1):  # S1: light
+        items.extend([item] * light_count)
+    m = len(items)
+
+    windows: list[TransitionWindow] = []
+    round_index = 0
+    while len(items) < n_target:
+        light_group = (
+            range(l + 1, 2 * l + 1) if round_index % 2 == 0 else range(1, l + 1)
+        )
+        batch = max(1, round(beta * m))
+        for item in light_group:
+            start = len(items)
+            items.extend([item] * batch)
+            windows.append(
+                TransitionWindow(
+                    item=item,
+                    start_index=start,
+                    end_index=len(items),
+                    round_index=round_index,
+                )
+            )
+        m = len(items)
+        round_index += 1
+    return items, windows, epsilon
+
+
+def count_heavy_hitter_changes(
+    items: list[int], phi: float, epsilon: float
+) -> int:
+    """Count light→heavy transitions of any item along the stream.
+
+    A change is a frequency crossing from below ``(φ−ε)|A|`` to ``φ|A|`` or
+    the reverse; following the proof we count only the upward direction
+    (which already gives the ``Ω(log n / ε)`` bound).
+    """
+    from collections import Counter
+
+    counts: Counter[int] = Counter()
+    total = 0
+    # State per item: True once it reaches phi*|A|; reset once below
+    # (phi - eps)*|A|.
+    is_heavy: dict[int, bool] = {}
+    changes = 0
+    for item in items:
+        counts[item] += 1
+        total += 1
+        count = counts[item]
+        heavy_now = is_heavy.get(item, False)
+        if not heavy_now and count >= phi * total:
+            is_heavy[item] = True
+            changes += 1
+        elif heavy_now and count < (phi - epsilon) * total:
+            is_heavy[item] = False
+    return changes

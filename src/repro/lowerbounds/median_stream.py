@@ -1,0 +1,65 @@
+"""§3.2: a two-value stream whose median changes ``Ω(log n / ε)`` times.
+
+Invariant: at the start of round ``i`` item ``b`` has frequency
+``(0.5 − 2ε)·m_i`` and item ``1−b`` has ``(0.5 + 2ε)·m_i``
+(``b = i mod 2``); the round inserts ``4ε/(0.5 − 2ε) · m_i`` copies of
+``b``, flipping which value holds the median.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigurationError
+
+LOW_VALUE = 1
+HIGH_VALUE = 2
+
+
+def median_lower_bound_stream(
+    epsilon: float, n_target: int
+) -> tuple[list[int], int]:
+    """Generate the §3.2 stream up to roughly ``n_target`` items.
+
+    Returns ``(items, rounds)``. Items take only the values
+    ``LOW_VALUE`` / ``HIGH_VALUE``.
+    """
+    if not 0 < epsilon < 0.125:
+        raise ConfigurationError(
+            f"construction needs 0 < eps < 1/8, got {epsilon!r}"
+        )
+    low_fraction = 0.5 - 2 * epsilon
+    # Initial prefix: LOW at (0.5 - 2eps) m0, HIGH at (0.5 + 2eps) m0.
+    m0 = max(64, math.ceil(4 / epsilon))
+    low_count = round(low_fraction * m0)
+    high_count = m0 - low_count
+    items = [LOW_VALUE] * low_count + [HIGH_VALUE] * high_count
+    m = len(items)
+    counts = {LOW_VALUE: low_count, HIGH_VALUE: high_count}
+    rounds = 0
+    light = LOW_VALUE
+    while len(items) < n_target:
+        batch = max(1, round(4 * epsilon / low_fraction * m))
+        items.extend([light] * batch)
+        counts[light] += batch
+        m = len(items)
+        rounds += 1
+        light = HIGH_VALUE if light == LOW_VALUE else LOW_VALUE
+    return items, rounds
+
+
+def count_median_changes(items: list[int]) -> int:
+    """Number of times the exact median flips between the two values."""
+    low = 0
+    total = 0
+    current: int | None = None
+    changes = 0
+    for item in items:
+        if item == LOW_VALUE:
+            low += 1
+        total += 1
+        median = LOW_VALUE if low * 2 > total else HIGH_VALUE
+        if current is not None and median != current:
+            changes += 1
+        current = median
+    return changes

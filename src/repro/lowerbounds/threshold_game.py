@@ -1,0 +1,132 @@
+"""The abstract threshold game at the heart of Lemma 2.3.
+
+A deterministic tracking protocol, watching for a frequency change that
+completes after ``budget`` copies of an item arrive, is characterised by
+per-site triggering thresholds ``n_j``: site ``j`` stays silent until it has
+absorbed ``n_j`` copies. Correctness forces ``Σ(n_j − 1) < budget`` — were
+the sum larger, the adversary could place ``n_j − 1`` copies at every site
+and finish the transition in total silence, so the coordinator would miss
+the change.
+
+Given that constraint, some site always has ``n_j ≤ 2·budget/k``; the
+adversary feeds exactly that site, forcing a message per at most
+``2·budget/k`` deliveries — i.e. ``Ω(k)`` messages across the batch,
+*whatever* rebalancing strategy the detector uses between messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GameOutcome:
+    """Result of one play of the threshold game."""
+
+    messages: int
+    deliveries: int
+    change_detected: bool
+
+
+class CorrectDetector:
+    """A detector that keeps ``Σ(n_j − 1) < budget`` at all times.
+
+    It plays the strongest legal strategy: spread the *remaining* silence
+    budget evenly across all sites after every message, maximising how much
+    it can absorb quietly. Lemma 2.3 says even this pays ``Ω(k)``.
+    """
+
+    def __init__(self, num_sites: int, budget: int) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"need >= 1 site, got {num_sites!r}")
+        if budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {budget!r}")
+        self.num_sites = num_sites
+        self.budget = budget
+        self.messages = 0
+        self._received = [0] * num_sites
+        self._thresholds = [0] * num_sites
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        """Reset thresholds to evenly share the remaining silence budget."""
+        consumed = sum(self._received)
+        remaining = max(0, self.budget - consumed - 1)
+        share = remaining // self.num_sites + 1  # sum(n_j - 1) <= remaining
+        for site in range(self.num_sites):
+            self._thresholds[site] = share
+            self._received[site] = 0
+
+    def threshold(self, site: int) -> int:
+        """Copies site ``site`` still absorbs before it must speak."""
+        return self._thresholds[site] - self._received[site]
+
+    def deliver(self, site: int, copies: int) -> int:
+        """Feed ``copies`` to ``site``; returns messages triggered."""
+        triggered = 0
+        for _ in range(copies):
+            self._received[site] += 1
+            if self._received[site] >= self._thresholds[site]:
+                triggered += 1
+                self.messages += 1
+                self._rebalance()
+        return triggered
+
+
+class CheatingDetector:
+    """A detector that violates the sum constraint (``Σ(n_j − 1) ≥ budget``).
+
+    It communicates less — in fact not at all against the adversary — but
+    necessarily *misses the change*, which is exactly the dichotomy the
+    lemma's proof sets up.
+    """
+
+    def __init__(self, num_sites: int, budget: int) -> None:
+        self.num_sites = num_sites
+        self.budget = budget
+        self.messages = 0
+        # Thresholds so large the whole batch fits silently.
+        self._thresholds = [budget + 1] * num_sites
+        self._received = [0] * num_sites
+
+    def threshold(self, site: int) -> int:
+        return self._thresholds[site] - self._received[site]
+
+    def deliver(self, site: int, copies: int) -> int:
+        triggered = 0
+        for _ in range(copies):
+            self._received[site] += 1
+            if self._received[site] >= self._thresholds[site]:
+                triggered += 1
+                self.messages += 1
+        return triggered
+
+
+def play_adversarial(detector, copies: int) -> GameOutcome:
+    """Adversary: always feed the site closest to its trigger."""
+    remaining = copies
+    while remaining > 0:
+        target = min(
+            range(detector.num_sites), key=lambda site: detector.threshold(site)
+        )
+        burst = max(1, min(remaining, detector.threshold(target)))
+        detector.deliver(target, burst)
+        remaining -= burst
+    return GameOutcome(
+        messages=detector.messages,
+        deliveries=copies,
+        change_detected=detector.messages > 0,
+    )
+
+
+def play_spread(detector, copies: int) -> GameOutcome:
+    """Benign control: spread the batch evenly (round-robin)."""
+    for index in range(copies):
+        detector.deliver(index % detector.num_sites, 1)
+    return GameOutcome(
+        messages=detector.messages,
+        deliveries=copies,
+        change_detected=detector.messages > 0,
+    )

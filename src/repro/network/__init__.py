@@ -1,0 +1,29 @@
+"""Simulation of the distributed streaming (coordinator) model.
+
+``k`` sites each hold a two-way channel to one coordinator; there is no
+site-to-site communication (matching the paper's model). Communication is
+instant: a site's message may trigger arbitrarily nested coordinator↔site
+exchanges before the next item arrives. Every message is charged to a
+:class:`~repro.network.accounting.CommStats` ledger in *words*, the paper's
+cost measure (one word = ``Θ(log u)`` bits).
+"""
+
+from repro.network.accounting import CommSnapshot, CommStats
+from repro.network.message import Message, payload_words
+from repro.network.protocol import (
+    ContinuousTrackingProtocol,
+    Coordinator,
+    Site,
+)
+from repro.network.runtime import Network
+
+__all__ = [
+    "CommSnapshot",
+    "CommStats",
+    "Message",
+    "payload_words",
+    "ContinuousTrackingProtocol",
+    "Coordinator",
+    "Site",
+    "Network",
+]

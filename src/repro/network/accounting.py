@@ -1,0 +1,86 @@
+"""Communication-cost ledger.
+
+Counts messages and words by direction and by message kind. The harness
+snapshots the ledger as the stream advances to produce cost-vs-items series
+(the x-axes of every scaling experiment).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommSnapshot:
+    """Immutable view of the ledger at one instant."""
+
+    messages: int
+    words: int
+    uplink_messages: int
+    downlink_messages: int
+    uplink_words: int
+    downlink_words: int
+
+    def __sub__(self, other: "CommSnapshot") -> "CommSnapshot":
+        return CommSnapshot(
+            messages=self.messages - other.messages,
+            words=self.words - other.words,
+            uplink_messages=self.uplink_messages - other.uplink_messages,
+            downlink_messages=self.downlink_messages - other.downlink_messages,
+            uplink_words=self.uplink_words - other.uplink_words,
+            downlink_words=self.downlink_words - other.downlink_words,
+        )
+
+
+class CommStats:
+    """Mutable communication ledger charged by the :class:`Network`."""
+
+    def __init__(self) -> None:
+        self.uplink_messages = 0
+        self.downlink_messages = 0
+        self.uplink_words = 0
+        self.downlink_words = 0
+        self.by_kind: Counter[str] = Counter()
+        self.words_by_kind: Counter[str] = Counter()
+
+    @property
+    def messages(self) -> int:
+        """Total messages in both directions."""
+        return self.uplink_messages + self.downlink_messages
+
+    @property
+    def words(self) -> int:
+        """Total words in both directions."""
+        return self.uplink_words + self.downlink_words
+
+    def charge_uplink(self, kind: str, words: int) -> None:
+        """Record one site→coordinator message."""
+        self.uplink_messages += 1
+        self.uplink_words += words
+        self.by_kind[kind] += 1
+        self.words_by_kind[kind] += words
+
+    def charge_downlink(self, kind: str, words: int) -> None:
+        """Record one coordinator→site message."""
+        self.downlink_messages += 1
+        self.downlink_words += words
+        self.by_kind[kind] += 1
+        self.words_by_kind[kind] += words
+
+    def snapshot(self) -> CommSnapshot:
+        """Freeze the current totals."""
+        return CommSnapshot(
+            messages=self.messages,
+            words=self.words,
+            uplink_messages=self.uplink_messages,
+            downlink_messages=self.downlink_messages,
+            uplink_words=self.uplink_words,
+            downlink_words=self.downlink_words,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CommStats(messages={self.messages}, words={self.words}, "
+            f"up={self.uplink_messages}, down={self.downlink_messages})"
+        )

@@ -1,0 +1,50 @@
+"""Messages exchanged between sites and the coordinator.
+
+A message's cost in *words* is one header word (its kind) plus one word per
+scalar in its payload, mirroring the paper's accounting where each word is
+``Θ(log u) = Θ(log n)`` bits and a message such as ``(x, ε·Sj.m/3k)`` costs
+``O(1)`` words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def payload_words(payload: Any) -> int:
+    """Number of words needed to transmit ``payload``.
+
+    Scalars cost one word; sequences cost the sum of their elements; ``None``
+    is free. Mappings cost one word per key plus the cost of each value.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (int, float, str)):
+        return 1
+    if isinstance(payload, dict):
+        return sum(1 + payload_words(value) for value in payload.values())
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_words(element) for element in payload)
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One transmission: a ``kind`` tag plus an arbitrary payload.
+
+    ``words`` defaults to ``1 + payload_words(payload)`` but can be
+    overridden when a protocol transmits a structure with a known encoded
+    size (e.g. a shipped sketch).
+    """
+
+    kind: str
+    payload: Any = None
+    words: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            object.__setattr__(self, "words", 1 + payload_words(self.payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Message({self.kind!r}, {self.payload!r}, words={self.words})"

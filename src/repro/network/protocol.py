@@ -1,0 +1,144 @@
+"""Base classes for continuous-tracking protocols.
+
+A protocol bundles one :class:`Coordinator`, ``k`` :class:`Site` endpoints
+and the :class:`~repro.network.runtime.Network` between them, and exposes a
+single facade to the harness: feed ``(site, item)`` arrivals in, query the
+coordinator's current answer at any time, read the communication ledger.
+
+Warm-up (§2.1 of the paper): until ``m = ⌈k/ε⌉`` items have arrived, every
+arrival is simply forwarded to the coordinator (2 words each), which
+therefore knows the prefix exactly. When warm-up completes the concrete
+protocol's :meth:`ContinuousTrackingProtocol._initialize` runs with each
+site's exact local multiset.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Iterable
+
+from repro.common.errors import ProtocolError
+from repro.common.params import TrackingParams
+from repro.common.validation import require_universe
+from repro.network.accounting import CommStats
+from repro.network.message import Message
+from repro.network.runtime import Network
+
+
+class Site(ABC):
+    """One remote site: observes local arrivals, talks to the coordinator."""
+
+    def __init__(self, site_id: int, network: Network) -> None:
+        self.site_id = site_id
+        self.network = network
+
+    def send(self, message: Message) -> None:
+        """Send to the coordinator."""
+        self.network.send_to_coordinator(self.site_id, message)
+
+    @abstractmethod
+    def observe(self, item: int) -> None:
+        """Handle one local arrival (may trigger communication)."""
+
+    def on_message(self, message: Message) -> None:
+        """Handle a coordinator push (default: reject unknown kinds)."""
+        raise ProtocolError(
+            f"site {self.site_id} got unexpected message {message.kind!r}"
+        )
+
+    def on_request(self, message: Message) -> Message:
+        """Answer a coordinator round-trip request."""
+        raise ProtocolError(
+            f"site {self.site_id} got unexpected request {message.kind!r}"
+        )
+
+
+class Coordinator(ABC):
+    """The distinguished coordinator endpoint."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    @abstractmethod
+    def on_message(self, site_id: int, message: Message) -> None:
+        """Handle a site-initiated message (may trigger cascades)."""
+
+
+class ContinuousTrackingProtocol(ABC):
+    """Facade over coordinator + sites + network, with warm-up handling.
+
+    Subclasses implement :meth:`_build` (construct endpoints),
+    :meth:`_initialize` (bootstrap from the warm-up prefix) and their own
+    query methods; the facade routes arrivals and owns the ledger.
+    """
+
+    def __init__(self, params: TrackingParams) -> None:
+        self.params = params
+        self.stats = CommStats()
+        self.network = Network(params.num_sites, self.stats)
+        self._items_processed = 0
+        self._warmup_per_site: list[list[int]] = [
+            [] for _ in range(params.num_sites)
+        ]
+        self._warmup_counts: Counter[int] = Counter()
+        self._initialized = False
+        self._build()
+
+    # -- construction hooks ---------------------------------------------------
+
+    @abstractmethod
+    def _build(self) -> None:
+        """Create coordinator and sites and bind them to the network."""
+
+    @abstractmethod
+    def _initialize(self, per_site_items: list[list[int]]) -> None:
+        """Bootstrap protocol state from the exact warm-up prefix.
+
+        ``per_site_items[j]`` is the list of items site ``j`` received during
+        warm-up, in arrival order. Communication needed for the bootstrap
+        must be charged through the network as usual.
+        """
+
+    # -- stream ingestion -------------------------------------------------
+
+    @property
+    def items_processed(self) -> int:
+        """Number of arrivals processed so far (``|A|``)."""
+        return self._items_processed
+
+    @property
+    def in_warmup(self) -> bool:
+        """True while the naive forward-everything prefix is running."""
+        return not self._initialized
+
+    def process(self, site_id: int, item: int) -> None:
+        """Feed one arrival observed at ``site_id``."""
+        require_universe(item, self.params.universe_size)
+        if not 0 <= site_id < self.params.num_sites:
+            raise ProtocolError(f"unknown site {site_id!r}")
+        self._items_processed += 1
+        if self._initialized:
+            self._observe(site_id, item)
+            return
+        # Warm-up: relay the raw item (1 header + 1 payload word).
+        self.stats.charge_uplink("warmup", 2)
+        self._warmup_per_site[site_id].append(item)
+        self._warmup_counts[item] += 1
+        if self._items_processed >= self.params.warmup_items:
+            self._initialized = True
+            self._initialize(self._warmup_per_site)
+            self._warmup_per_site = []
+
+    def _observe(self, site_id: int, item: int) -> None:
+        """Deliver a post-warm-up arrival to the owning site."""
+        self._site(site_id).observe(item)
+
+    @abstractmethod
+    def _site(self, site_id: int) -> Site:
+        """The concrete site endpoint for ``site_id``."""
+
+    def process_stream(self, stream: Iterable[tuple[int, int]]) -> None:
+        """Feed a whole ``(site_id, item)`` sequence."""
+        for site_id, item in stream:
+            self.process(site_id, item)

@@ -1,0 +1,96 @@
+"""The simulated star network connecting sites to the coordinator.
+
+Delivery is synchronous nested dispatch: sending a message invokes the
+recipient's handler before the call returns, which models the paper's
+"communication is instant" assumption, including cascaded exchanges
+triggered by a single arrival. Every hop is charged to the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import CommunicationError
+from repro.network.accounting import CommStats
+from repro.network.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.network.protocol import Coordinator, Site
+
+
+class Network:
+    """Star topology: ``k`` two-way site↔coordinator channels."""
+
+    def __init__(self, num_sites: int, stats: CommStats | None = None) -> None:
+        if num_sites < 1:
+            raise CommunicationError(
+                f"network needs at least one site, got {num_sites!r}"
+            )
+        self._num_sites = num_sites
+        self.stats = stats or CommStats()
+        self._coordinator: "Coordinator | None" = None
+        self._sites: "list[Site] | None" = None
+
+    @property
+    def num_sites(self) -> int:
+        return self._num_sites
+
+    def bind(self, coordinator: "Coordinator", sites: "list[Site]") -> None:
+        """Attach the endpoints; must happen before any traffic."""
+        if len(sites) != self._num_sites:
+            raise CommunicationError(
+                f"expected {self._num_sites} sites, got {len(sites)}"
+            )
+        self._coordinator = coordinator
+        self._sites = sites
+
+    def _require_bound(self) -> None:
+        if self._coordinator is None or self._sites is None:
+            raise CommunicationError("network endpoints not bound yet")
+
+    def _check_site(self, site_id: int) -> None:
+        if not 0 <= site_id < self._num_sites:
+            raise CommunicationError(
+                f"unknown site {site_id!r} (have {self._num_sites})"
+            )
+
+    # -- site -> coordinator ------------------------------------------------
+
+    def send_to_coordinator(self, site_id: int, message: Message) -> None:
+        """Deliver a site's message to the coordinator (charged uplink)."""
+        self._require_bound()
+        self._check_site(site_id)
+        self.stats.charge_uplink(message.kind, message.words)
+        self._coordinator.on_message(site_id, message)
+
+    # -- coordinator -> site(s) ---------------------------------------------
+
+    def send_to_site(self, site_id: int, message: Message) -> None:
+        """Deliver a coordinator message to one site (charged downlink)."""
+        self._require_bound()
+        self._check_site(site_id)
+        self.stats.charge_downlink(message.kind, message.words)
+        self._sites[site_id].on_message(message)
+
+    def broadcast(self, message: Message) -> None:
+        """Deliver to every site; charged as ``k`` separate messages."""
+        self._require_bound()
+        for site_id in range(self._num_sites):
+            self.send_to_site(site_id, message)
+
+    def request(self, site_id: int, message: Message) -> Message:
+        """Coordinator-initiated round trip; both directions are charged."""
+        self._require_bound()
+        self._check_site(site_id)
+        self.stats.charge_downlink(message.kind, message.words)
+        reply = self._sites[site_id].on_request(message)
+        self.stats.charge_uplink(reply.kind, reply.words)
+        return reply
+
+    def request_all(self, message: Message) -> list[Message]:
+        """Round trip with every site; returns replies in site order."""
+        self._require_bound()
+        return [
+            self.request(site_id, message)
+            for site_id in range(self._num_sites)
+        ]

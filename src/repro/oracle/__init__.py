@@ -1,0 +1,23 @@
+"""Ground truth and guarantee auditing.
+
+The :class:`ExactTracker` maintains the exact global multiset (Fenwick-
+backed, so every operation is logarithmic); :mod:`repro.oracle.checker`
+compares a protocol's continuous answers against it and reports any
+violation of the paper's ε-approximation guarantees.
+"""
+
+from repro.oracle.checker import (
+    AuditReport,
+    audit_heavy_hitter_protocol,
+    audit_quantile_protocol,
+    audit_rank_protocol,
+)
+from repro.oracle.exact import ExactTracker
+
+__all__ = [
+    "AuditReport",
+    "audit_heavy_hitter_protocol",
+    "audit_quantile_protocol",
+    "audit_rank_protocol",
+    "ExactTracker",
+]

@@ -1,0 +1,131 @@
+"""Continuous guarantee audits: protocol answers versus exact ground truth.
+
+Each ``audit_*`` function replays a stream through a protocol, pausing at
+fixed checkpoints to compare the coordinator's current answer against the
+:class:`~repro.oracle.exact.ExactTracker`. The returned report carries the
+worst observed error and every outright violation, which is what
+experiment E9 and the integration tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.oracle.exact import ExactTracker
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one continuous audit."""
+
+    checkpoints: int = 0
+    violations: list[str] = field(default_factory=list)
+    max_error: float = 0.0  # worst error seen, in rank/frequency fraction
+
+    @property
+    def ok(self) -> bool:
+        """True when no checkpoint violated the guarantee."""
+        return not self.violations
+
+    def record(self, error: float) -> None:
+        self.checkpoints += 1
+        self.max_error = max(self.max_error, error)
+
+    def violation(self, description: str) -> None:
+        self.violations.append(description)
+
+
+def _replay(protocol, oracle: ExactTracker, chunk) -> None:
+    for site_id, item in chunk:
+        protocol.process(site_id, item)
+        oracle.update(item)
+
+
+def _chunks(stream, checkpoint_every: int):
+    for start in range(0, len(stream), checkpoint_every):
+        yield stream[start : start + checkpoint_every]
+
+
+def audit_heavy_hitter_protocol(
+    protocol,
+    stream,
+    phi: float,
+    checkpoint_every: int = 500,
+) -> AuditReport:
+    """Audit the ε-approximate heavy-hitter contract at every checkpoint."""
+    oracle = ExactTracker(protocol.params.universe_size)
+    report = AuditReport()
+    epsilon = protocol.params.epsilon
+    for chunk in _chunks(stream, checkpoint_every):
+        _replay(protocol, oracle, chunk)
+        reported = protocol.heavy_hitters(phi)
+        missed, spurious = oracle.heavy_hitter_violations(
+            reported, phi, epsilon
+        )
+        worst = 0.0
+        total = max(1, oracle.total)
+        for item in missed:
+            worst = max(worst, phi - oracle.frequency(item) / total)
+        for item in spurious:
+            worst = max(
+                worst, (phi - epsilon) - oracle.frequency(item) / total
+            )
+        report.record(worst)
+        if missed:
+            report.violation(
+                f"n={oracle.total}: missed heavy hitters {sorted(missed)}"
+            )
+        if spurious:
+            report.violation(
+                f"n={oracle.total}: spurious heavy hitters {sorted(spurious)}"
+            )
+    return report
+
+
+def audit_quantile_protocol(
+    protocol,
+    stream,
+    checkpoint_every: int = 500,
+) -> AuditReport:
+    """Audit the single-quantile contract: |φ' − φ| ≤ ε at every checkpoint."""
+    oracle = ExactTracker(protocol.params.universe_size)
+    report = AuditReport()
+    epsilon = protocol.params.epsilon
+    phi = protocol.phi
+    for chunk in _chunks(stream, checkpoint_every):
+        _replay(protocol, oracle, chunk)
+        answer = protocol.quantile()
+        offset = oracle.quantile_rank_offset(answer, phi)
+        report.record(offset)
+        if offset > epsilon:
+            report.violation(
+                f"n={oracle.total}: quantile {answer} off target by "
+                f"{offset:.4f} > eps={epsilon}"
+            )
+    return report
+
+
+def audit_rank_protocol(
+    protocol,
+    stream,
+    probe_values: list[int],
+    checkpoint_every: int = 500,
+) -> AuditReport:
+    """Audit the all-quantiles contract: rank error ≤ ε|A| for every probe."""
+    oracle = ExactTracker(protocol.params.universe_size)
+    report = AuditReport()
+    epsilon = protocol.params.epsilon
+    for chunk in _chunks(stream, checkpoint_every):
+        _replay(protocol, oracle, chunk)
+        total = max(1, oracle.total)
+        worst = 0.0
+        for value in probe_values:
+            error = oracle.rank_error(value, protocol.rank(value)) / total
+            worst = max(worst, error)
+            if error > epsilon:
+                report.violation(
+                    f"n={oracle.total}: rank({value}) error {error:.4f} > "
+                    f"eps={epsilon}"
+                )
+        report.record(worst)
+    return report

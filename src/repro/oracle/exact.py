@@ -1,0 +1,106 @@
+"""Exact online tracker of the global stream (the ground-truth oracle)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.structures.fenwick import FenwickTree
+
+
+class ExactTracker:
+    """Exact frequencies, ranks, quantiles, and heavy hitters of ``A(t)``."""
+
+    def __init__(self, universe_size: int) -> None:
+        self._tree = FenwickTree(universe_size)
+        self._counts: Counter[int] = Counter()
+
+    @property
+    def total(self) -> int:
+        """``|A|`` so far."""
+        return self._tree.total
+
+    def update(self, item: int) -> None:
+        """Observe one arrival."""
+        self._tree.add(item)
+        self._counts[item] += 1
+
+    def frequency(self, item: int) -> int:
+        """Exact ``mx``."""
+        return self._counts[item]
+
+    def rank_leq(self, item: int) -> int:
+        """Exact count of items ``≤ item``."""
+        return self._tree.prefix_sum(item)
+
+    def rank_less(self, item: int) -> int:
+        """Exact count of items ``< item``."""
+        return self._tree.prefix_sum(item - 1)
+
+    def quantile(self, phi: float) -> int:
+        """The exact φ-quantile."""
+        return self._tree.quantile(phi)
+
+    def heavy_hitters(self, phi: float) -> set[int]:
+        """Exact ``{x : mx ≥ φ|A|}``."""
+        threshold = phi * self.total
+        return {
+            item for item, cnt in self._counts.items() if cnt >= threshold
+        }
+
+    def is_valid_quantile(self, value: int, phi: float, epsilon: float) -> bool:
+        """Paper's definition: is ``value`` a φ'-quantile, |φ'−φ| ≤ ε?
+
+        True iff at most ``(φ+ε)|A|`` items are smaller than ``value`` and at
+        most ``(1−φ+ε)|A|`` items are greater.
+        """
+        total = self.total
+        if total == 0:
+            return True
+        smaller = self.rank_less(value)
+        greater = total - self.rank_leq(value)
+        return (
+            smaller <= (phi + epsilon) * total
+            and greater <= (1 - phi + epsilon) * total
+        )
+
+    def heavy_hitter_violations(
+        self, reported: set[int], phi: float, epsilon: float
+    ) -> tuple[set[int], set[int]]:
+        """(missed, spurious) items violating the ε-approximate HH contract.
+
+        ``missed``: true φ-heavy hitters absent from ``reported``;
+        ``spurious``: reported items with frequency below ``(φ−ε)|A|``.
+        """
+        total = self.total
+        missed = {
+            item
+            for item, cnt in self._counts.items()
+            if cnt >= phi * total and item not in reported
+        }
+        spurious = {
+            item
+            for item in reported
+            if self._counts[item] < (phi - epsilon) * total
+        }
+        return missed, spurious
+
+    def rank_error(self, item: int, estimated_rank: float) -> float:
+        """Absolute error of an estimated ``count(≤ item)``, in items."""
+        return abs(estimated_rank - self.rank_leq(item))
+
+    def quantile_rank_offset(self, value: int, phi: float) -> float:
+        """How far ``value`` is from the exact φ-quantile, in rank fraction.
+
+        Zero when ``value`` is an exact φ-quantile; the paper's guarantee is
+        that this never exceeds ε. Tie-aware: uses the closest point of the
+        rank window ``[count(<v), count(≤v)]`` to the target ``φ|A|``.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        target = phi * total
+        lo = self.rank_less(value)
+        hi = self.rank_leq(value)
+        if lo <= target <= hi:
+            return 0.0
+        return (lo - target if target < lo else target - hi) / total

@@ -1,0 +1,29 @@
+"""Single-stream summary sketches used as per-site state.
+
+The paper's protocols assume each site keeps exact local frequencies or
+local quantile structures; §2.1 and §3.1 observe the protocols still work
+when those are replaced by an ``O(1/ε)``-space heavy-hitter sketch
+(SpaceSaving) or a Greenwald–Khanna quantile summary. This package
+implements those sketches — plus Misra–Gries, Count–Min, and reservoir
+sampling used by baselines — behind small uniform interfaces.
+"""
+
+from repro.sketches.base import FrequencySketch, QuantileSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.exact import ExactFrequency, ExactQuantile
+from repro.sketches.gk import GKQuantileSketch
+from repro.sketches.misra_gries import MisraGriesSketch
+from repro.sketches.reservoir import ReservoirSample
+from repro.sketches.spacesaving import SpaceSavingSketch
+
+__all__ = [
+    "FrequencySketch",
+    "QuantileSketch",
+    "CountMinSketch",
+    "ExactFrequency",
+    "ExactQuantile",
+    "GKQuantileSketch",
+    "MisraGriesSketch",
+    "ReservoirSample",
+    "SpaceSavingSketch",
+]

@@ -1,0 +1,59 @@
+"""Abstract interfaces for frequency and quantile summaries."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class FrequencySketch(ABC):
+    """Summary answering approximate point-frequency queries.
+
+    Implementations guarantee ``estimate(x)`` is within ``error_bound()`` of
+    the true frequency of ``x`` among the ``count`` items inserted so far.
+    """
+
+    @abstractmethod
+    def insert(self, item: int, weight: int = 1) -> None:
+        """Record ``weight`` occurrences of ``item``."""
+
+    @abstractmethod
+    def estimate(self, item: int) -> int:
+        """Approximate frequency of ``item``."""
+
+    @property
+    @abstractmethod
+    def count(self) -> int:
+        """Total weight inserted so far."""
+
+    @abstractmethod
+    def error_bound(self) -> float:
+        """Maximum absolute error of :meth:`estimate` right now."""
+
+    @abstractmethod
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """All tracked items whose estimate is at least ``threshold``."""
+
+
+class QuantileSketch(ABC):
+    """Summary answering approximate rank and quantile queries."""
+
+    @abstractmethod
+    def insert(self, item: int) -> None:
+        """Record one occurrence of ``item``."""
+
+    @abstractmethod
+    def rank(self, item: int) -> int:
+        """Approximate number of inserted items ``≤ item``."""
+
+    @abstractmethod
+    def quantile(self, phi: float) -> int:
+        """An approximate φ-quantile of the inserted items."""
+
+    @property
+    @abstractmethod
+    def count(self) -> int:
+        """Total number of inserted items."""
+
+    @abstractmethod
+    def error_bound(self) -> float:
+        """Maximum absolute rank error right now."""

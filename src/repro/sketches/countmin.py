@@ -1,0 +1,88 @@
+"""Count–Min sketch (Cormode & Muthukrishnan).
+
+Randomized frequency summary used by the sampling baseline's verification
+path and available as an alternative per-site summary.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.common.validation import require_epsilon
+from repro.sketches.base import FrequencySketch
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch(FrequencySketch):
+    """Count–Min with width ``⌈e/ε⌉`` and depth ``⌈ln(1/δ)⌉``.
+
+    ``estimate(x)`` never undercounts and overcounts by more than ``ε·n``
+    with probability ``1 − δ`` per query.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta: float = 0.01,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        require_epsilon(epsilon)
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta!r}")
+        self._epsilon = epsilon
+        self._delta = delta
+        self._width = max(2, math.ceil(math.e / epsilon))
+        self._depth = max(1, math.ceil(math.log(1 / delta)))
+        rng = rng or make_rng(0)
+        # Pairwise-independent hashes: h(x) = (a*x + b) mod p mod width.
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=self._depth)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=self._depth)
+        self._table = np.zeros((self._depth, self._width), dtype=np.int64)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(depth, width) of the counter table."""
+        return self._depth, self._width
+
+    def _columns(self, item: int) -> np.ndarray:
+        return ((self._a * item + self._b) % _MERSENNE_PRIME) % self._width
+
+    def insert(self, item: int, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight!r}")
+        if weight == 0:
+            return
+        self._count += weight
+        cols = self._columns(item)
+        self._table[np.arange(self._depth), cols] += weight
+
+    def estimate(self, item: int) -> int:
+        cols = self._columns(item)
+        return int(self._table[np.arange(self._depth), cols].min())
+
+    def error_bound(self) -> float:
+        return self._epsilon * self._count
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        raise NotImplementedError(
+            "Count-Min cannot enumerate items; pair it with a candidate set"
+        )
+
+    def heavy_hitters_from(
+        self, candidates: list[int], threshold: int
+    ) -> dict[int, int]:
+        """Filter an explicit candidate list by estimated frequency."""
+        return {
+            item: est
+            for item in candidates
+            if (est := self.estimate(item)) >= threshold
+        }

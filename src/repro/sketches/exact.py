@@ -1,0 +1,73 @@
+"""Exact (non-sketch) implementations of the summary interfaces.
+
+These are the defaults used by the protocols — the paper's analysis assumes
+each site maintains exact local frequencies / local order statistics — and
+they double as reference implementations in sketch tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sketches.base import FrequencySketch, QuantileSketch
+from repro.structures.fenwick import FenwickTree
+
+
+class ExactFrequency(FrequencySketch):
+    """Exact frequency map (unbounded space)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[int] = Counter()
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def insert(self, item: int, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight!r}")
+        self._counts[item] += weight
+        self._count += weight
+
+    def estimate(self, item: int) -> int:
+        return self._counts[item]
+
+    def error_bound(self) -> float:
+        return 0.0
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        return {
+            item: cnt for item, cnt in self._counts.items() if cnt >= threshold
+        }
+
+    def items(self) -> dict[int, int]:
+        """All (item, count) pairs."""
+        return dict(self._counts)
+
+
+class ExactQuantile(QuantileSketch):
+    """Exact order statistics backed by a Fenwick tree over the universe."""
+
+    def __init__(self, universe_size: int) -> None:
+        self._tree = FenwickTree(universe_size)
+
+    @property
+    def count(self) -> int:
+        return self._tree.total
+
+    def insert(self, item: int) -> None:
+        self._tree.add(item)
+
+    def rank(self, item: int) -> int:
+        return self._tree.prefix_sum(item)
+
+    def quantile(self, phi: float) -> int:
+        return self._tree.quantile(phi)
+
+    def range_count(self, lo: int, hi: int) -> int:
+        """Exact number of items in the inclusive value range ``[lo, hi]``."""
+        return self._tree.range_sum(lo, hi)
+
+    def error_bound(self) -> float:
+        return 0.0

@@ -1,0 +1,140 @@
+"""Greenwald–Khanna quantile summary (SIGMOD 2001).
+
+The per-site quantile structure named by §3.1/§4 of the paper: answers rank
+queries over a single stream with additive error ``ε·n`` in
+``O(1/ε · log(εn))`` space.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.common.validation import require_epsilon
+from repro.sketches.base import QuantileSketch
+
+
+@dataclass
+class _Tuple:
+    """One GK triple ``(v, g, Δ)``.
+
+    ``g`` is the rank gap to the previous kept value and ``Δ`` bounds the
+    uncertainty of this value's rank.
+    """
+
+    value: int
+    g: int
+    delta: int
+
+
+class GKQuantileSketch(QuantileSketch):
+    """Greenwald–Khanna summary with rank error at most ``ε·count``.
+
+    The classic invariant ``g_i + Δ_i ≤ 2εn`` is maintained by periodic
+    compression (every ``⌈1/(2ε)⌉`` inserts).
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        require_epsilon(epsilon)
+        self._epsilon = epsilon
+        self._tuples: list[_Tuple] = []
+        self._values: list[int] = []  # parallel sorted list for bisect
+        self._count = 0
+        self._compress_every = max(1, int(1 / (2 * epsilon)))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def tuple_count(self) -> int:
+        """Current number of stored triples (the space usage)."""
+        return len(self._tuples)
+
+    def error_bound(self) -> float:
+        return self._epsilon * self._count
+
+    def insert(self, item: int) -> None:
+        self._count += 1
+        threshold = self._threshold()
+        position = bisect.bisect_left(self._values, item)
+        if position == 0 or position == len(self._tuples):
+            # New minimum or maximum must be exact (delta = 0).
+            new = _Tuple(value=item, g=1, delta=0)
+        else:
+            new = _Tuple(value=item, g=1, delta=max(0, threshold - 1))
+        self._tuples.insert(position, new)
+        self._values.insert(position, item)
+        if self._count % self._compress_every == 0:
+            self._compress()
+
+    def _threshold(self) -> int:
+        """Current merge threshold ``⌊2εn⌋``."""
+        return max(1, int(2 * self._epsilon * self._count))
+
+    def _compress(self) -> None:
+        """Merge adjacent triples whose combined uncertainty stays legal."""
+        if len(self._tuples) < 3:
+            return
+        threshold = self._threshold()
+        merged: list[_Tuple] = [self._tuples[0]]
+        # Walk right-to-left conceptually; here left-to-right, folding a
+        # tuple into its successor when the invariant allows.
+        for current in self._tuples[1:]:
+            previous = merged[-1]
+            can_merge = (
+                len(merged) > 1  # never merge away the minimum
+                and previous.g + current.g + current.delta <= threshold
+            )
+            if can_merge:
+                current = _Tuple(
+                    value=current.value,
+                    g=previous.g + current.g,
+                    delta=current.delta,
+                )
+                merged[-1] = current
+            else:
+                merged.append(current)
+        self._tuples = merged
+        self._values = [entry.value for entry in merged]
+
+    def rank(self, item: int) -> int:
+        """Approximate count of inserted items ``≤ item``.
+
+        Standard GK estimator: with ``v_i ≤ item < v_{i+1}`` the true rank
+        lies in ``[rmin_i, rmax_{i+1} − 1]``; return the midpoint, whose
+        error is ``(g_{i+1} + Δ_{i+1})/2 ≤ ε·n``.
+        """
+        if self._count == 0:
+            return 0
+        position = bisect.bisect_right(self._values, item)
+        if position == 0:
+            return 0
+        rank_min = sum(entry.g for entry in self._tuples[:position])
+        if position == len(self._tuples):
+            return rank_min  # at or beyond the stored maximum (delta = 0)
+        nxt = self._tuples[position]
+        rank_max_next = rank_min + nxt.g + nxt.delta
+        return (rank_min + rank_max_next - 1) // 2
+
+    def quantile(self, phi: float) -> int:
+        """Value whose rank is within ``ε·count`` of ``φ·count``."""
+        if self._count == 0:
+            raise IndexError("quantile of an empty sketch")
+        if not 0 <= phi <= 1:
+            raise ValueError(f"phi must be in [0, 1], got {phi!r}")
+        target = max(1, int(-(-phi * self._count // 1)))
+        rank_min = 0
+        best = self._tuples[0].value
+        best_gap = float("inf")
+        for entry in self._tuples:
+            rank_min += entry.g
+            midpoint = rank_min + entry.delta / 2
+            gap = abs(midpoint - target)
+            if gap < best_gap:
+                best, best_gap = entry.value, gap
+        return best
+
+    def merged_values(self) -> list[tuple[int, int, int]]:
+        """Snapshot of the summary as ``(value, g, delta)`` triples."""
+        return [(t.value, t.g, t.delta) for t in self._tuples]

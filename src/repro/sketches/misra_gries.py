@@ -1,0 +1,84 @@
+"""Misra–Gries frequent-items summary.
+
+Classic deterministic ``O(1/ε)``-space sketch: estimates every frequency
+with additive error at most ``ε·count``, never overestimating.
+"""
+
+from __future__ import annotations
+
+from repro.common.validation import require_epsilon
+from repro.sketches.base import FrequencySketch
+
+
+class MisraGriesSketch(FrequencySketch):
+    """Misra–Gries summary with ``⌈1/ε⌉`` counters.
+
+    Estimates are *underestimates*: ``freq(x) − ε·n ≤ estimate(x) ≤ freq(x)``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        require_epsilon(epsilon)
+        self._epsilon = epsilon
+        self._capacity = max(1, int(1 / epsilon))
+        self._counters: dict[int, int] = {}
+        self._count = 0
+        self._decrements = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of counters held simultaneously."""
+        return self._capacity
+
+    def insert(self, item: int, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight!r}")
+        if weight == 0:
+            return
+        self._count += weight
+        counters = self._counters
+        if item in counters:
+            counters[item] += weight
+            return
+        if len(counters) < self._capacity:
+            counters[item] = weight
+            return
+        # Decrement-all step, batched: remove the largest amount that keeps
+        # every counter non-negative and absorbs the new item's weight.
+        decrement = min(weight, min(counters.values()))
+        self._decrements += decrement
+        remaining = weight - decrement
+        for key in list(counters):
+            counters[key] -= decrement
+            if counters[key] == 0:
+                del counters[key]
+        if remaining > 0:
+            if len(counters) < self._capacity:
+                counters[item] = remaining
+            else:
+                # Re-run on the remainder; terminates because each pass
+                # either stores the item or strictly shrinks counters.
+                self._count -= remaining
+                self.insert(item, remaining)
+
+    def estimate(self, item: int) -> int:
+        return self._counters.get(item, 0)
+
+    def error_bound(self) -> float:
+        # Each unit of decrement removes capacity+1 units of weight, so the
+        # per-item undercount is at most count/(capacity+1) <= eps*count.
+        return self._count / (self._capacity + 1)
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        return {
+            item: est
+            for item, est in self._counters.items()
+            if est >= threshold
+        }
+
+    def items(self) -> dict[int, int]:
+        """Snapshot of all tracked (item, counter) pairs."""
+        return dict(self._counters)

@@ -1,0 +1,63 @@
+"""Reservoir sampling over a stream.
+
+Substrate for the §5 randomized-sampling observation: maintains a uniform
+sample of fixed size from an unbounded stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.common.validation import require_positive
+
+
+class ReservoirSample:
+    """Uniform without-replacement sample of ``capacity`` stream items."""
+
+    def __init__(
+        self, capacity: int, rng: np.random.Generator | None = None
+    ) -> None:
+        require_positive(capacity, "capacity")
+        self._capacity = capacity
+        self._rng = rng or make_rng(0)
+        self._sample: list[int] = []
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Total number of items observed."""
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def insert(self, item: int) -> None:
+        """Observe one stream item."""
+        self._count += 1
+        if len(self._sample) < self._capacity:
+            self._sample.append(item)
+            return
+        slot = int(self._rng.integers(0, self._count))
+        if slot < self._capacity:
+            self._sample[slot] = item
+
+    def sample(self) -> list[int]:
+        """Snapshot of the current sample (length ``min(count, capacity)``)."""
+        return list(self._sample)
+
+    def estimate_frequency(self, item: int) -> float:
+        """Estimated global frequency of ``item``, scaled from the sample."""
+        if not self._sample:
+            return 0.0
+        in_sample = sum(1 for value in self._sample if value == item)
+        return in_sample / len(self._sample) * self._count
+
+    def estimate_quantile(self, phi: float) -> int:
+        """Estimated φ-quantile from the sample."""
+        if not self._sample:
+            raise IndexError("quantile of an empty reservoir")
+        ordered = sorted(self._sample)
+        index = min(len(ordered) - 1, max(0, int(phi * len(ordered))))
+        return ordered[index]

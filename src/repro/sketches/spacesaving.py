@@ -1,0 +1,103 @@
+"""SpaceSaving sketch (Metwally, Agrawal, El Abbadi 2006).
+
+The per-site heavy-hitter summary named by §2.1 of the paper: ``O(1/ε)``
+counters, additive error at most ``ε·count``, estimates never undercount by
+more than each counter's recorded overestimate.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.common.validation import require_epsilon
+from repro.sketches.base import FrequencySketch
+
+
+class SpaceSavingSketch(FrequencySketch):
+    """SpaceSaving with ``⌈1/ε⌉`` monitored counters.
+
+    Guarantees, with ``n`` the total inserted weight:
+
+    * ``estimate(x) ≥ freq(x)`` for monitored ``x`` (overestimate),
+    * ``estimate(x) − freq(x) ≤ ε·n``,
+    * every ``x`` with ``freq(x) > ε·n`` is monitored.
+
+    Internally a lazy min-heap keyed by counter value; amortised ``O(log 1/ε)``
+    per insert.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        require_epsilon(epsilon)
+        self._epsilon = epsilon
+        self._capacity = max(1, int(1 / epsilon))
+        self._counters: dict[int, int] = {}
+        self._overestimates: dict[int, int] = {}
+        self._heap: list[tuple[int, int]] = []  # (count, item), may be stale
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of monitored items."""
+        return self._capacity
+
+    def insert(self, item: int, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight!r}")
+        if weight == 0:
+            return
+        self._count += weight
+        counters = self._counters
+        if item in counters:
+            counters[item] += weight
+            heapq.heappush(self._heap, (counters[item], item))
+            return
+        if len(counters) < self._capacity:
+            counters[item] = weight
+            self._overestimates[item] = 0
+            heapq.heappush(self._heap, (weight, item))
+            return
+        victim, victim_count = self._pop_min()
+        del counters[victim]
+        del self._overestimates[victim]
+        counters[item] = victim_count + weight
+        self._overestimates[item] = victim_count
+        heapq.heappush(self._heap, (counters[item], item))
+
+    def _pop_min(self) -> tuple[int, int]:
+        """Remove and return the (item, count) with the smallest counter."""
+        heap = self._heap
+        counters = self._counters
+        while heap:
+            cnt, item = heapq.heappop(heap)
+            if counters.get(item) == cnt:
+                return item, cnt
+        raise RuntimeError("SpaceSaving heap out of sync")  # pragma: no cover
+
+    def estimate(self, item: int) -> int:
+        return self._counters.get(item, 0)
+
+    def guaranteed_count(self, item: int) -> int:
+        """A lower bound on ``freq(item)`` (counter minus its overestimate)."""
+        if item not in self._counters:
+            return 0
+        return self._counters[item] - self._overestimates[item]
+
+    def error_bound(self) -> float:
+        if len(self._counters) < self._capacity:
+            return 0.0
+        return self._count / self._capacity
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        return {
+            item: est
+            for item, est in self._counters.items()
+            if est >= threshold
+        }
+
+    def items(self) -> dict[int, int]:
+        """Snapshot of all monitored (item, counter) pairs."""
+        return dict(self._counters)

@@ -1,0 +1,6 @@
+"""Order-statistics building blocks: Fenwick trees and equi-depth partitions."""
+
+from repro.structures.fenwick import FenwickTree
+from repro.structures.intervals import IntervalPartition, equi_depth_separators
+
+__all__ = ["FenwickTree", "IntervalPartition", "equi_depth_separators"]

@@ -1,0 +1,115 @@
+"""Fenwick (binary indexed) tree over the integer universe ``{1..u}``.
+
+This is the exact rank oracle behind :mod:`repro.oracle`: it supports
+``O(log u)`` point updates, prefix sums, and rank-select queries, which is
+what makes auditing a protocol's answers at *every* checkpoint affordable
+even on long streams.
+"""
+
+from __future__ import annotations
+
+from repro.common.validation import require_positive, require_universe
+
+
+class FenwickTree:
+    """Multiset over ``{1..size}`` with logarithmic rank/select.
+
+    The tree stores item multiplicities; ``prefix_sum(x)`` returns how many
+    stored items are ``≤ x`` and ``select(r)`` inverts that.
+    """
+
+    def __init__(self, size: int) -> None:
+        require_positive(size, "size")
+        self._size = size
+        self._tree = [0] * (size + 1)
+        self._total = 0
+
+    @property
+    def size(self) -> int:
+        """The universe size ``u``."""
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Total number of stored items (with multiplicity)."""
+        return self._total
+
+    def __len__(self) -> int:
+        return self._total
+
+    def add(self, item: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item`` (negative removes)."""
+        require_universe(item, self._size)
+        if count == 0:
+            return
+        self._total += count
+        index = item
+        while index <= self._size:
+            self._tree[index] += count
+            index += index & (-index)
+
+    def remove(self, item: int, count: int = 1) -> None:
+        """Remove ``count`` occurrences of ``item``."""
+        self.add(item, -count)
+
+    def prefix_sum(self, item: int) -> int:
+        """Number of stored items ``≤ item`` (0 when ``item < 1``)."""
+        if item < 1:
+            return 0
+        index = min(item, self._size)
+        acc = 0
+        while index > 0:
+            acc += self._tree[index]
+            index -= index & (-index)
+        return acc
+
+    def count(self, item: int) -> int:
+        """Multiplicity of ``item``."""
+        return self.prefix_sum(item) - self.prefix_sum(item - 1)
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Number of stored items in the inclusive range ``[lo, hi]``."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+    def rank(self, item: int) -> int:
+        """Number of stored items strictly smaller than ``item``."""
+        return self.prefix_sum(item - 1)
+
+    def select(self, target_rank: int) -> int:
+        """Smallest item ``x`` with ``prefix_sum(x) ≥ target_rank``.
+
+        ``target_rank`` is 1-based: ``select(1)`` is the minimum stored item.
+        Raises ``IndexError`` when the multiset holds fewer items.
+        """
+        if not 1 <= target_rank <= self._total:
+            raise IndexError(
+                f"rank {target_rank} out of range for multiset of size "
+                f"{self._total}"
+            )
+        position = 0
+        remaining = target_rank
+        # Descend power-of-two jumps; classic Fenwick binary search.
+        bit = 1
+        while (bit << 1) <= self._size:
+            bit <<= 1
+        while bit > 0:
+            nxt = position + bit
+            if nxt <= self._size and self._tree[nxt] < remaining:
+                position = nxt
+                remaining -= self._tree[nxt]
+            bit >>= 1
+        return position + 1
+
+    def quantile(self, phi: float) -> int:
+        """The φ-quantile of the stored multiset (φ in [0, 1]).
+
+        Returns the item of 1-based rank ``max(1, ceil(φ·total))``, i.e. an
+        element with at most ``φ·total`` items strictly below it and at most
+        ``(1-φ)·total`` strictly above — the paper's definition.
+        """
+        if self._total == 0:
+            raise IndexError("quantile of an empty multiset")
+        target = max(1, min(self._total, int(-(-phi * self._total // 1))))
+        return self.select(target)

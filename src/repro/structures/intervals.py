@@ -1,0 +1,150 @@
+"""Equi-depth interval partitions of the universe.
+
+The single-quantile protocol (§3.1) maintains at the coordinator a dynamic
+set of disjoint intervals over ``U``, each holding between ``εm/8`` and
+``εm/2`` items; this module provides the partition structure plus the
+helper that extracts equi-depth separators from sorted local data.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def equi_depth_separators(sorted_values: Sequence[int], bucket_size: int) -> list[int]:
+    """Separator items splitting ``sorted_values`` into ≈``bucket_size`` chunks.
+
+    Returns every ``bucket_size``-th element (the *last* element of each full
+    bucket). With ``b = bucket_size`` the rank of any value can be recovered
+    from the separators with error at most ``b``. Empty input or a bucket
+    size larger than the data yields an empty list.
+    """
+    if bucket_size < 1:
+        raise ValueError(f"bucket_size must be >= 1, got {bucket_size!r}")
+    return [
+        sorted_values[index]
+        for index in range(bucket_size - 1, len(sorted_values), bucket_size)
+    ]
+
+
+@dataclass
+class Interval:
+    """A half-open value range ``[lo, hi)`` with an item count estimate."""
+
+    lo: int
+    hi: int
+    count: int = 0
+
+    def __contains__(self, item: int) -> bool:
+        return self.lo <= item < self.hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interval([{self.lo}, {self.hi}), count={self.count})"
+
+
+@dataclass
+class IntervalPartition:
+    """A sorted set of disjoint intervals covering ``[1, universe_size+1)``.
+
+    Intervals are stored in increasing value order; lookup by item is a
+    binary search over the interval boundaries. Counts attached to each
+    interval are maintained by the caller (the coordinator).
+    """
+
+    universe_size: int
+    _bounds: list[int] = field(default_factory=list)
+    _counts: list[int] = field(default_factory=list)
+
+    @classmethod
+    def from_separators(
+        cls, separators: Iterable[int], universe_size: int
+    ) -> "IntervalPartition":
+        """Build a partition whose internal boundaries sit *after* each separator.
+
+        A separator ``s`` closes the interval ``[prev, s+1)``: separators are
+        items, and an interval is the set of values up to and including its
+        separator.
+        """
+        bounds = [1]
+        for sep in sorted(set(separators)):
+            boundary = sep + 1
+            if boundary <= bounds[-1]:
+                continue
+            if boundary > universe_size:
+                break
+            bounds.append(boundary)
+        bounds.append(universe_size + 1)
+        part = cls(universe_size=universe_size)
+        part._bounds = bounds
+        part._counts = [0] * (len(bounds) - 1)
+        return part
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self):
+        for index in range(len(self._counts)):
+            yield self.interval(index)
+
+    def interval(self, index: int) -> Interval:
+        """The ``index``-th interval (in increasing value order)."""
+        return Interval(
+            lo=self._bounds[index],
+            hi=self._bounds[index + 1],
+            count=self._counts[index],
+        )
+
+    def index_of(self, item: int) -> int:
+        """Index of the interval containing ``item``."""
+        if not 1 <= item <= self.universe_size:
+            raise ValueError(
+                f"item {item} outside universe [1, {self.universe_size}]"
+            )
+        return bisect.bisect_right(self._bounds, item) - 1
+
+    def boundaries(self) -> list[int]:
+        """All interval boundaries, including the sentinels at both ends."""
+        return list(self._bounds)
+
+    def separators(self) -> list[int]:
+        """Internal separator items (last value of each non-final interval)."""
+        return [bound - 1 for bound in self._bounds[1:-1]]
+
+    def get_count(self, index: int) -> int:
+        """Current count estimate of interval ``index``."""
+        return self._counts[index]
+
+    def add_count(self, index: int, delta: int) -> int:
+        """Increase interval ``index``'s count estimate; returns new value."""
+        self._counts[index] += delta
+        return self._counts[index]
+
+    def set_count(self, index: int, value: int) -> None:
+        """Overwrite interval ``index``'s count estimate."""
+        self._counts[index] = value
+
+    def total_count(self) -> int:
+        """Sum of all interval count estimates."""
+        return sum(self._counts)
+
+    def split(self, index: int, separator: int, left_count: int, right_count: int) -> None:
+        """Split interval ``index`` at ``separator`` (which joins the left part).
+
+        The left child becomes ``[lo, separator+1)`` with ``left_count`` and
+        the right child ``[separator+1, hi)`` with ``right_count``.
+        """
+        interval = self.interval(index)
+        boundary = separator + 1
+        if not interval.lo < boundary < interval.hi:
+            raise ValueError(
+                f"separator {separator} does not strictly split {interval}"
+            )
+        self._bounds.insert(index + 1, boundary)
+        self._counts[index] = left_count
+        self._counts.insert(index + 1, right_count)
+
+    def prefix_count(self, index: int) -> int:
+        """Total estimated count of intervals strictly before ``index``."""
+        return sum(self._counts[:index])

@@ -1,0 +1,33 @@
+"""Stream generators and site partitioners for experiments and tests."""
+
+from repro.workloads.generators import (
+    mixture_stream,
+    permutation_stream,
+    sequential_stream,
+    shifting_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.workloads.partitioners import (
+    block_partitioner,
+    hash_partitioner,
+    random_partitioner,
+    round_robin_partitioner,
+    skewed_partitioner,
+)
+from repro.workloads.stream import make_stream
+
+__all__ = [
+    "mixture_stream",
+    "permutation_stream",
+    "sequential_stream",
+    "shifting_stream",
+    "uniform_stream",
+    "zipf_stream",
+    "block_partitioner",
+    "hash_partitioner",
+    "random_partitioner",
+    "round_robin_partitioner",
+    "skewed_partitioner",
+    "make_stream",
+]

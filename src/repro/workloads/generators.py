@@ -1,0 +1,128 @@
+"""Item-value generators.
+
+Each generator returns a numpy array of ``n`` items in ``{1..universe}``;
+all randomness comes from an injected generator so experiments replay
+deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.common.validation import require_positive
+
+
+def _clip(values: np.ndarray, universe: int) -> np.ndarray:
+    return np.clip(values, 1, universe).astype(np.int64)
+
+
+def uniform_stream(
+    n: int, universe: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Items drawn uniformly from the universe."""
+    require_positive(n, "n")
+    rng = rng or make_rng(0)
+    return rng.integers(1, universe + 1, size=n, dtype=np.int64)
+
+
+def zipf_stream(
+    n: int,
+    universe: int,
+    skew: float = 1.1,
+    num_distinct: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Zipf-distributed items: rank ``r`` has probability ``∝ 1/r^skew``.
+
+    The most frequent ranks map to evenly spread universe values so heavy
+    items are not all clustered at the low end (which would make quantile
+    tracking artificially easy).
+    """
+    require_positive(n, "n")
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew!r}")
+    rng = rng or make_rng(0)
+    distinct = min(num_distinct or universe, universe)
+    weights = 1.0 / np.power(np.arange(1, distinct + 1, dtype=np.float64), skew)
+    weights /= weights.sum()
+    ranks = rng.choice(distinct, size=n, p=weights)
+    # Spread ranks across the universe deterministically (golden-ratio hop).
+    step = max(1, int(universe * 0.6180339887) | 1)
+    values = 1 + (np.asarray(ranks, dtype=np.int64) * step) % universe
+    return _clip(values, universe)
+
+
+def sequential_stream(
+    n: int, universe: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Items ``1, 2, 3, ...`` wrapping around the universe (worst-ish case
+    for interval maintenance: mass keeps moving right)."""
+    require_positive(n, "n")
+    return (np.arange(n, dtype=np.int64) % universe) + 1
+
+
+def permutation_stream(
+    n: int, universe: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Distinct items in random order (the paper's §3/§4 assumption).
+
+    Requires ``n ≤ universe``.
+    """
+    require_positive(n, "n")
+    if n > universe:
+        raise ValueError(f"cannot draw {n} distinct items from universe {universe}")
+    rng = rng or make_rng(0)
+    return np.asarray(rng.choice(universe, size=n, replace=False) + 1, dtype=np.int64)
+
+
+def shifting_stream(
+    n: int,
+    universe: int,
+    num_phases: int = 4,
+    spread_fraction: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Distribution drift: a Gaussian blob whose centre jumps per phase.
+
+    Stresses recentering and partial rebuilds — the tracked quantile moves
+    a long way at each phase boundary.
+    """
+    require_positive(n, "n")
+    require_positive(num_phases, "num_phases")
+    rng = rng or make_rng(0)
+    centres = rng.integers(1, universe + 1, size=num_phases)
+    spread = max(1.0, universe * spread_fraction)
+    phase = (np.arange(n) * num_phases) // n
+    values = rng.normal(loc=centres[phase], scale=spread)
+    return _clip(np.rint(values), universe)
+
+
+def mixture_stream(
+    n: int,
+    universe: int,
+    heavy_items: dict[int, float],
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Planted heavy hitters: ``heavy_items`` maps item → frequency fraction;
+    the remaining mass is uniform background noise.
+
+    Used by heavy-hitter tests that need ground truth by construction.
+    """
+    require_positive(n, "n")
+    total_heavy = sum(heavy_items.values())
+    if total_heavy > 1:
+        raise ValueError(f"heavy fractions sum to {total_heavy} > 1")
+    rng = rng or make_rng(0)
+    items = list(heavy_items)
+    probabilities = list(heavy_items.values())
+    choices = rng.random(size=n)
+    out = np.empty(n, dtype=np.int64)
+    cumulative = np.cumsum(probabilities)
+    background = uniform_stream(n, universe, rng)
+    out[:] = background
+    for index, item in enumerate(items):
+        lo = cumulative[index - 1] if index else 0.0
+        mask = (choices >= lo) & (choices < cumulative[index])
+        out[mask] = item
+    return out

@@ -1,0 +1,45 @@
+"""Assembling (site, item) arrival sequences from generators + partitioners."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+
+def make_stream(
+    generator: Callable[..., np.ndarray],
+    partitioner: Callable[..., np.ndarray],
+    n: int,
+    universe: int,
+    num_sites: int,
+    seed: int = 0,
+    **generator_kwargs,
+) -> list[tuple[int, int]]:
+    """Produce a concrete ``[(site_id, item), ...]`` arrival sequence.
+
+    The generator and partitioner receive independent RNG streams derived
+    from ``seed``; the same arguments always yield the same stream.
+    """
+    gen_rng = make_rng(seed)
+    part_rng = make_rng(seed + 1)
+    items = generator(n, universe, rng=gen_rng, **generator_kwargs)
+    sites = partitioner(items, num_sites, rng=part_rng)
+    return list(zip(sites.tolist(), items.tolist()))
+
+
+def stream_chunks(
+    stream: list[tuple[int, int]], checkpoint_every: int
+) -> Iterator[tuple[list[tuple[int, int]], int]]:
+    """Split a stream into chunks ending at audit checkpoints.
+
+    Yields ``(chunk, items_so_far)`` pairs; used by accuracy audits that
+    compare protocol answers with ground truth at fixed intervals.
+    """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    for start in range(0, len(stream), checkpoint_every):
+        chunk = stream[start : start + checkpoint_every]
+        yield chunk, start + len(chunk)

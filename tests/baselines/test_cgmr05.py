@@ -1,0 +1,77 @@
+"""CGMR05 baseline tests: correctness and the 1/eps^2 cost signature."""
+
+from __future__ import annotations
+
+from repro.baselines import CGMR05Protocol
+from repro.common.params import TrackingParams
+from repro.oracle import ExactTracker
+
+UNIVERSE = 1 << 12
+
+
+class TestCorrectness:
+    def test_rank_error_within_eps(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = CGMR05Protocol(params)
+        oracle = ExactTracker(UNIVERSE)
+        for site_id, item in uniform_arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        n = oracle.total
+        for probe in [100, 1000, 2000, 3500]:
+            assert abs(protocol.rank(probe) - oracle.rank_leq(probe)) <= (
+                params.epsilon * n
+            )
+
+    def test_quantile_error(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = CGMR05Protocol(params)
+        oracle = ExactTracker(UNIVERSE)
+        for site_id, item in uniform_arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        value = protocol.quantile(0.5)
+        assert oracle.quantile_rank_offset(value, 0.5) <= params.epsilon
+
+    def test_estimated_total(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = CGMR05Protocol(params)
+        protocol.process_stream(uniform_arrivals)
+        n = len(uniform_arrivals)
+        assert abs(protocol.estimated_total - n) <= params.epsilon * n
+
+
+class TestCostSignature:
+    def test_cost_scales_worse_than_ours_in_eps(self, uniform_arrivals):
+        """Halving eps should roughly quadruple CGMR05's cost (eps^-2) but
+        only ~double ours (eps^-1)."""
+        from repro.core.all_quantiles import AllQuantilesProtocol
+
+        def run(cls, epsilon):
+            params = TrackingParams(
+                num_sites=4, epsilon=epsilon, universe_size=UNIVERSE
+            )
+            protocol = cls(params)
+            protocol.process_stream(uniform_arrivals)
+            return protocol.stats.words
+
+        cgmr_ratio = run(CGMR05Protocol, 0.05) / run(CGMR05Protocol, 0.2)
+        ours_ratio = run(AllQuantilesProtocol, 0.05) / run(
+            AllQuantilesProtocol, 0.2
+        )
+        assert cgmr_ratio > ours_ratio
+
+    def test_shipments_grow_with_log_n(self, params):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        shipments = []
+        for n in [2_000, 8_000]:
+            protocol = CGMR05Protocol(params)
+            items = rng.integers(1, params.universe_size, size=n)
+            for index, item in enumerate(items):
+                protocol.process(index % params.k, int(item))
+            shipments.append(protocol.shipments)
+        # 4x the data should add shipments but far less than 4x.
+        assert shipments[1] > shipments[0]
+        assert shipments[1] < 3 * shipments[0]

@@ -1,0 +1,33 @@
+"""Distributed counter baseline tests."""
+
+from __future__ import annotations
+
+from repro.baselines import DistributedCounter
+from repro.common.params import TrackingParams
+
+
+class TestCounter:
+    def test_estimate_within_relative_eps(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=1 << 12)
+        counter = DistributedCounter(params)
+        counter.process_stream(uniform_arrivals)
+        n = len(uniform_arrivals)
+        assert counter.estimated_total <= n
+        assert counter.estimated_total >= (1 - params.epsilon) * n
+
+    def test_cost_logarithmic(self):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=64)
+        words = []
+        for n in [4_000, 16_000]:
+            counter = DistributedCounter(params)
+            for index in range(n):
+                counter.process(index % 4, 1 + index % 64)
+            words.append(counter.stats.words)
+        # 4x items should cost much less than 4x words.
+        assert words[1] < 2.5 * words[0]
+
+    def test_estimate_during_warmup(self):
+        params = TrackingParams(num_sites=2, epsilon=0.5, universe_size=64)
+        counter = DistributedCounter(params)
+        counter.process(0, 1)
+        assert counter.estimated_total == 1

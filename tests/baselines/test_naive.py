@@ -1,0 +1,34 @@
+"""Naive forward-everything baseline tests."""
+
+from __future__ import annotations
+
+from repro.baselines import NaiveForwardProtocol
+from repro.oracle import ExactTracker
+
+
+class TestNaive:
+    def test_exact_answers(self, params, uniform_arrivals):
+        protocol = NaiveForwardProtocol(params)
+        oracle = ExactTracker(params.universe_size)
+        for site_id, item in uniform_arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        assert protocol.quantile(0.5) == oracle.quantile(0.5)
+        assert protocol.rank(1000) == oracle.rank_leq(1000)
+        assert protocol.heavy_hitters(0.01) == oracle.heavy_hitters(0.01)
+
+    def test_cost_is_linear(self, params, uniform_arrivals):
+        protocol = NaiveForwardProtocol(params)
+        protocol.process_stream(uniform_arrivals)
+        # 2 words per item, every item.
+        assert protocol.stats.words == 2 * len(uniform_arrivals)
+        assert protocol.stats.uplink_messages == len(uniform_arrivals)
+
+    def test_warmup_queries(self, params):
+        protocol = NaiveForwardProtocol(params)
+        protocol.process(0, 5)
+        protocol.process(1, 7)
+        assert protocol.in_warmup
+        assert protocol.quantile(0.0) == 5
+        assert protocol.rank(6) == 1
+        assert 5 in protocol.heavy_hitters(0.4)

@@ -1,0 +1,70 @@
+"""One-shot computation tests (classical communication model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import one_shot_heavy_hitters, one_shot_quantile
+
+
+def split_items(items, k):
+    return [list(items[start::k]) for start in range(k)]
+
+
+class TestOneShotQuantile:
+    def test_accuracy(self):
+        rng = np.random.default_rng(0)
+        items = rng.integers(1, 10_000, size=20_000).tolist()
+        per_site = split_items(items, 4)
+        answer, words = one_shot_quantile(per_site, phi=0.5, epsilon=0.05)
+        ordered = sorted(items)
+        rank = sum(1 for value in items if value <= answer)
+        assert abs(rank - 0.5 * len(items)) <= 0.05 * len(items)
+        assert words > 0
+
+    def test_cost_independent_of_n(self):
+        rng = np.random.default_rng(1)
+        costs = []
+        for n in [10_000, 40_000]:
+            items = rng.integers(1, 10_000, size=n).tolist()
+            _answer, words = one_shot_quantile(
+                split_items(items, 4), phi=0.5, epsilon=0.05
+            )
+            costs.append(words)
+        # O(k/eps) regardless of n: within 30%.
+        assert abs(costs[1] - costs[0]) <= 0.3 * costs[0]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            one_shot_quantile([[], []], phi=0.5, epsilon=0.1)
+
+    def test_tiny_sites_fall_back(self):
+        answer, _words = one_shot_quantile([[5], [7]], phi=0.5, epsilon=0.5)
+        assert answer in (5, 7)
+
+
+class TestOneShotHeavyHitters:
+    def test_finds_planted(self):
+        items = [9] * 500 + list(range(100, 600))
+        hitters, words = one_shot_heavy_hitters(
+            split_items(items, 4), phi=0.3, epsilon=0.1
+        )
+        assert 9 in hitters
+        assert words > 0
+
+    def test_no_false_positives_below_threshold(self):
+        items = [9] * 500 + list(range(100, 600))
+        hitters, _words = one_shot_heavy_hitters(
+            split_items(items, 4), phi=0.3, epsilon=0.1
+        )
+        from collections import Counter
+
+        counts = Counter(items)
+        for item in hitters:
+            assert counts[item] >= (0.3 - 0.1) * len(items)
+
+    def test_empty_input(self):
+        hitters, words = one_shot_heavy_hitters([[], []], phi=0.5, epsilon=0.1)
+        assert hitters == set()
+        assert words == 0

@@ -1,0 +1,56 @@
+"""Periodic polling baseline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import PeriodicPollProtocol
+from repro.common.params import TrackingParams
+from repro.oracle import ExactTracker
+
+UNIVERSE = 1 << 12
+
+
+class TestPolling:
+    def test_polls_happen(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = PeriodicPollProtocol(params, period=500)
+        protocol.process_stream(uniform_arrivals)
+        assert protocol.polls >= len(uniform_arrivals) // 500 - 2
+
+    def test_answers_fresh_right_after_poll(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = PeriodicPollProtocol(params, period=500)
+        oracle = ExactTracker(UNIVERSE)
+        for site_id, item in uniform_arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        protocol._coordinator.poll()  # force freshness, then compare
+        value = protocol.quantile(0.5)
+        assert oracle.quantile_rank_offset(value, 0.5) <= params.epsilon
+
+    def test_answers_can_go_stale_between_polls(self):
+        """The whole point of push-based protocols: polling misses changes."""
+        params = TrackingParams(num_sites=2, epsilon=0.05, universe_size=UNIVERSE)
+        protocol = PeriodicPollProtocol(params, period=100_000)  # ~never
+        oracle = ExactTracker(UNIVERSE)
+        # Low values first, then a flood of high values with no poll.
+        arrivals = [(i % 2, 10) for i in range(2_000)]
+        arrivals += [(i % 2, 4_000) for i in range(6_000)]
+        worst = 0.0
+        for site_id, item in arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+            if not protocol.in_warmup and oracle.total % 500 == 0:
+                offset = oracle.quantile_rank_offset(
+                    protocol.quantile(0.5), 0.5
+                )
+                worst = max(worst, offset)
+        assert worst > params.epsilon  # guarantee is violated between polls
+
+    def test_invalid_period(self):
+        params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=64)
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PeriodicPollProtocol(params, period=0)

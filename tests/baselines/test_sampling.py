@@ -1,0 +1,84 @@
+"""§5 sampling protocol tests (probabilistic guarantees, fixed seeds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SamplingProtocol
+from repro.common.params import TrackingParams
+from repro.oracle import ExactTracker
+from repro.workloads import make_stream, mixture_stream, round_robin_partitioner
+
+UNIVERSE = 1 << 12
+
+
+@pytest.fixture
+def heavy_stream():
+    return make_stream(
+        mixture_stream,
+        round_robin_partitioner,
+        12_000,
+        UNIVERSE,
+        4,
+        seed=4,
+        heavy_items={11: 0.3, 777: 0.15},
+    )
+
+
+class TestSampling:
+    def test_sample_size_stays_bounded(self, heavy_stream):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = SamplingProtocol(params, seed=0)
+        protocol.process_stream(heavy_stream)
+        target = max(8, int(16 / params.epsilon**2))
+        assert protocol.sample_size <= 2 * target + 8
+
+    def test_total_estimate_close(self, heavy_stream):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = SamplingProtocol(params, seed=1)
+        protocol.process_stream(heavy_stream)
+        n = len(heavy_stream)
+        assert abs(protocol.estimated_total - n) <= 0.3 * n
+
+    def test_finds_planted_heavy_hitters(self, heavy_stream):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = SamplingProtocol(params, seed=2)
+        protocol.process_stream(heavy_stream)
+        hitters = protocol.heavy_hitters(0.2)
+        assert 11 in hitters
+
+    def test_quantile_estimate_reasonable(self, heavy_stream):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = SamplingProtocol(params, seed=3)
+        oracle = ExactTracker(UNIVERSE)
+        for site_id, item in heavy_stream:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        value = protocol.quantile(0.5)
+        assert oracle.quantile_rank_offset(value, 0.5) <= 3 * params.epsilon
+
+    def test_deterministic_given_seed(self, heavy_stream):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        runs = []
+        for _ in range(2):
+            protocol = SamplingProtocol(params, seed=9)
+            protocol.process_stream(heavy_stream)
+            runs.append((protocol.stats.words, protocol.sample_size))
+        assert runs[0] == runs[1]
+
+    def test_invalid_sample_constant(self):
+        params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=64)
+        with pytest.raises(ValueError):
+            SamplingProtocol(params, sample_constant=0)
+
+    def test_cost_has_inverse_eps_squared_component(self, heavy_stream):
+        """Communication grows superlinearly in 1/eps (the 1/eps^2 term)."""
+        words = {}
+        for epsilon in (0.2, 0.05):
+            params = TrackingParams(
+                num_sites=4, epsilon=epsilon, universe_size=UNIVERSE
+            )
+            protocol = SamplingProtocol(params, seed=5)
+            protocol.process_stream(heavy_stream)
+            words[epsilon] = protocol.stats.words
+        assert words[0.05] > 2 * words[0.2]

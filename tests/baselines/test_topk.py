@@ -1,0 +1,83 @@
+"""Top-k heuristic baseline tests (Babcock–Olston flavour)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines import TopKHeuristicProtocol
+from repro.common.params import TrackingParams
+
+UNIVERSE = 1 << 12
+PARAMS = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+
+
+def skewed_stream(n=8000, k=4):
+    """Item i gets ~1/i of the traffic over 30 items (stable ranks)."""
+    items = []
+    for index in range(n):
+        rank = 1
+        value = (index * 2654435761) % 1000 / 1000
+        threshold = 0.0
+        harmonic = sum(1 / i for i in range(1, 31))
+        for i in range(1, 31):
+            threshold += (1 / i) / harmonic
+            if value < threshold:
+                rank = i
+                break
+        items.append((index % k, rank))
+    return items
+
+
+class TestTopK:
+    def test_finds_true_top_items_on_stable_stream(self):
+        stream = skewed_stream()
+        protocol = TopKHeuristicProtocol(PARAMS, k_items=5)
+        protocol.process_stream(stream)
+        truth = Counter(item for _site, item in stream)
+        expected = {item for item, _cnt in truth.most_common(3)}
+        cached = {item for item, _cnt in protocol.top_k()}
+        assert expected <= cached
+
+    def test_counts_are_plausible(self):
+        stream = skewed_stream()
+        protocol = TopKHeuristicProtocol(PARAMS, k_items=5)
+        protocol.process_stream(stream)
+        truth = Counter(item for _site, item in stream)
+        for item, count in protocol.top_k():
+            assert count <= truth[item] + 1
+            assert count >= 0.5 * truth[item]
+
+    def test_resolutions_counted(self):
+        stream = skewed_stream()
+        protocol = TopKHeuristicProtocol(PARAMS, k_items=5)
+        protocol.process_stream(stream)
+        assert protocol.resolutions >= 1
+
+    def test_lazier_slack_resolves_less(self):
+        stream = skewed_stream()
+        resolutions = {}
+        for fraction in (0.5, 4.0):
+            protocol = TopKHeuristicProtocol(
+                PARAMS, k_items=5, slack_fraction=fraction
+            )
+            protocol.process_stream(stream)
+            resolutions[fraction] = protocol.resolutions
+        assert resolutions[4.0] < resolutions[0.5]
+
+    def test_invalid_params(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TopKHeuristicProtocol(PARAMS, k_items=0)
+        with pytest.raises(ConfigurationError):
+            TopKHeuristicProtocol(PARAMS, slack_fraction=0)
+
+    def test_warmup_top_k(self):
+        protocol = TopKHeuristicProtocol(PARAMS, k_items=2)
+        protocol.process(0, 7)
+        protocol.process(1, 7)
+        protocol.process(0, 9)
+        assert protocol.in_warmup
+        assert protocol.top_k()[0][0] == 7

@@ -1,0 +1,40 @@
+"""TrackingParams tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import TrackingParams
+
+
+class TestTrackingParams:
+    def test_defaults(self):
+        params = TrackingParams(num_sites=4, epsilon=0.1)
+        assert params.k == 4
+        assert params.universe_size == 1 << 20
+
+    def test_warmup_items(self):
+        params = TrackingParams(num_sites=8, epsilon=0.05)
+        assert params.warmup_items == 160  # k / eps
+
+    def test_warmup_at_least_one(self):
+        params = TrackingParams(num_sites=1, epsilon=0.999)
+        assert params.warmup_items >= 1
+
+    def test_frozen(self):
+        params = TrackingParams(num_sites=2, epsilon=0.1)
+        with pytest.raises(AttributeError):
+            params.epsilon = 0.2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sites": 0, "epsilon": 0.1},
+            {"num_sites": 2, "epsilon": 0.0},
+            {"num_sites": 2, "epsilon": 1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrackingParams(**kwargs)

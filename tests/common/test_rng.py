@@ -1,0 +1,40 @@
+"""RNG plumbing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1 << 30, size=10)
+        b = make_rng(2).integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        assert spawn_rngs(0, 0) == []
+
+    def test_children_independent(self):
+        children = spawn_rngs(7, 3)
+        draws = [rng.integers(0, 1 << 30, size=8) for rng in children]
+        assert (draws[0] != draws[1]).any()
+        assert (draws[1] != draws[2]).any()
+
+    def test_reproducible(self):
+        a = [rng.integers(0, 100, size=4).tolist() for rng in spawn_rngs(9, 2)]
+        b = [rng.integers(0, 100, size=4).tolist() for rng in spawn_rngs(9, 2)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

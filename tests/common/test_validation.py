@@ -1,0 +1,75 @@
+"""Parameter validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, UniverseError
+from repro.common.validation import (
+    require_epsilon,
+    require_phi,
+    require_positive,
+    require_site_count,
+    require_universe,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(1, "x")
+        require_positive(0.001, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError, match="x must be positive"):
+            require_positive(value, "x")
+
+
+class TestRequireEpsilon:
+    @pytest.mark.parametrize("epsilon", [0.001, 0.5, 0.999])
+    def test_accepts_valid(self, epsilon):
+        require_epsilon(epsilon)
+
+    @pytest.mark.parametrize("epsilon", [0, 1, -0.1, 2])
+    def test_rejects_invalid(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            require_epsilon(epsilon)
+
+
+class TestRequirePhi:
+    def test_accepts_range(self):
+        require_phi(0.0)
+        require_phi(1.0)
+        require_phi(0.5)
+
+    @pytest.mark.parametrize("phi", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, phi):
+        with pytest.raises(ConfigurationError):
+            require_phi(phi)
+
+    def test_phi_must_exceed_epsilon_when_given(self):
+        require_phi(0.2, epsilon=0.1)
+        with pytest.raises(ConfigurationError):
+            require_phi(0.05, epsilon=0.1)
+
+
+class TestRequireUniverse:
+    def test_accepts_in_range(self):
+        require_universe(1, 10)
+        require_universe(10, 10)
+
+    @pytest.mark.parametrize("item", [0, 11, -3])
+    def test_rejects_out_of_range(self, item):
+        with pytest.raises(UniverseError):
+            require_universe(item, 10)
+
+
+class TestRequireSiteCount:
+    def test_accepts(self):
+        require_site_count(1)
+        require_site_count(64)
+
+    @pytest.mark.parametrize("k", [0, -1])
+    def test_rejects(self, k):
+        with pytest.raises(ConfigurationError):
+            require_site_count(k)

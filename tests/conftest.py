@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.workloads import (
+    make_stream,
+    mixture_stream,
+    round_robin_partitioner,
+    uniform_stream,
+    zipf_stream,
+)
+
+UNIVERSE = 1 << 12
+
+
+@pytest.fixture
+def params() -> TrackingParams:
+    """Small but non-trivial default parameters."""
+    return TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+
+
+@pytest.fixture
+def tight_params() -> TrackingParams:
+    """Tighter epsilon for accuracy-sensitive tests."""
+    return TrackingParams(num_sites=4, epsilon=0.05, universe_size=UNIVERSE)
+
+
+@pytest.fixture
+def uniform_arrivals():
+    """8k uniform arrivals over 4 sites (round-robin)."""
+    return make_stream(
+        uniform_stream, round_robin_partitioner, 8_000, UNIVERSE, 4, seed=1
+    )
+
+
+@pytest.fixture
+def zipf_arrivals():
+    """8k Zipf arrivals over 4 sites (round-robin)."""
+    return make_stream(
+        zipf_stream,
+        round_robin_partitioner,
+        8_000,
+        UNIVERSE,
+        4,
+        seed=2,
+        skew=1.3,
+    )
+
+
+@pytest.fixture
+def planted_heavy_arrivals():
+    """Arrivals with known heavy hitters at items 17 and 1000."""
+    return make_stream(
+        mixture_stream,
+        round_robin_partitioner,
+        8_000,
+        UNIVERSE,
+        4,
+        seed=3,
+        heavy_items={17: 0.2, 1000: 0.12},
+    )

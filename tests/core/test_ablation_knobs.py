@@ -1,0 +1,59 @@
+"""Ablation knobs: the configurable constants behave monotonically."""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+
+UNIVERSE = 1 << 11
+
+
+def _stream(n=5000, k=4):
+    return [(index % k, 1 + (index * 7919) % UNIVERSE) for index in range(n)]
+
+
+class TestHeavyHitterTriggerDivisor:
+    def test_lazier_trigger_sends_less(self):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        words = {}
+        for divisor in (1, 6):
+            protocol = HeavyHitterProtocol(params, trigger_divisor=divisor)
+            protocol.process_stream(_stream())
+            words[divisor] = protocol.stats.words
+        assert words[1] < words[6]
+
+    def test_lazier_trigger_weakens_invariant(self):
+        """With divisor d the estimate error bound is eps*m/d."""
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params, trigger_divisor=6)
+        stream = _stream()
+        protocol.process_stream(stream)
+        n = len(stream)
+        # Eager divisor: total estimate within eps*m/6.
+        assert n - protocol.estimated_total <= 0.1 * n / 6 + 1
+
+
+class TestQuantileUpdateFraction:
+    def test_lazier_recenters_fewer_times(self):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        recenters = {}
+        for fraction in (0.25, 1.0):
+            protocol = QuantileProtocol(
+                params, phi=0.5, update_fraction=fraction
+            )
+            protocol.process_stream(_stream())
+            recenters[fraction] = protocol.recenters
+        assert recenters[1.0] <= recenters[0.25]
+
+
+class TestAllQuantilesThetaScale:
+    def test_larger_theta_sends_fewer_count_updates(self):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        counts = {}
+        for scale in (0.5, 4.0):
+            protocol = AllQuantilesProtocol(params, theta_scale=scale)
+            protocol.process_stream(_stream())
+            counts[scale] = protocol.stats.by_kind["aq.count"]
+        assert counts[4.0] < counts[0.5]

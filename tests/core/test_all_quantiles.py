@@ -1,0 +1,189 @@
+"""All-quantiles protocol (§4) tests: rank guarantee, tree invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.all_quantiles.tree import height_bound
+from repro.oracle import ExactTracker, audit_rank_protocol
+from repro.workloads import (
+    hash_partitioner,
+    make_stream,
+    round_robin_partitioner,
+    shifting_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+UNIVERSE = 1 << 12
+PROBES = [1, 64, 512, 1024, 2048, 3000, UNIVERSE - 1]
+
+
+class TestRankGuarantee:
+    def test_rank_error_within_eps_at_all_times(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = AllQuantilesProtocol(params)
+        report = audit_rank_protocol(
+            protocol, uniform_arrivals, probe_values=PROBES, checkpoint_every=250
+        )
+        assert report.ok, report.violations[:3]
+        assert report.max_error <= params.epsilon
+
+    def test_zipf_stream(self, zipf_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = AllQuantilesProtocol(params)
+        report = audit_rank_protocol(
+            protocol, zipf_arrivals, probe_values=PROBES, checkpoint_every=250
+        )
+        assert report.ok, report.violations[:3]
+
+    def test_shifting_stream_hash_partition(self):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        stream = make_stream(
+            shifting_stream, hash_partitioner, 8_000, UNIVERSE, 4, seed=21
+        )
+        protocol = AllQuantilesProtocol(params)
+        report = audit_rank_protocol(
+            protocol, stream, probe_values=PROBES, checkpoint_every=250
+        )
+        assert report.ok, report.violations[:3]
+
+    def test_all_phis_simultaneously(self, uniform_arrivals):
+        """The defining feature: every phi is eps-correct from one structure."""
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = AllQuantilesProtocol(params)
+        oracle = ExactTracker(UNIVERSE)
+        for site_id, item in uniform_arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]:
+            value = protocol.quantile(phi)
+            offset = oracle.quantile_rank_offset(value, phi)
+            assert offset <= params.epsilon, f"phi={phi}"
+
+
+class TestTreeInvariants:
+    @pytest.fixture
+    def finished(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = AllQuantilesProtocol(params)
+        protocol.process_stream(uniform_arrivals)
+        return protocol
+
+    def test_intervals_tile(self, finished):
+        finished.tree.check_structure()
+
+    def test_height_bounded(self, finished):
+        assert finished.tree.height() <= 2 * height_bound(0.1)
+
+    def test_leaf_count_theta_one_over_eps(self, finished):
+        leaves = len(finished.tree.leaves())
+        assert 1 / 0.1 * 0.5 <= leaves <= 1 / 0.1 * 12
+
+    def test_leaf_sizes_bounded(self, finished, uniform_arrivals):
+        oracle = ExactTracker(UNIVERSE)
+        for _site, item in uniform_arrivals:
+            oracle.update(item)
+        m = finished._coordinator.round_base
+        for leaf in finished.tree.leaves():
+            true = oracle.rank_leq(leaf.hi - 1) - oracle.rank_less(leaf.lo)
+            assert true <= 0.1 * m / 2 + 0.1 * m / 8  # eps*m/2 plus count lag
+
+    def test_node_counts_within_theta(self, finished, uniform_arrivals):
+        oracle = ExactTracker(UNIVERSE)
+        for _site, item in uniform_arrivals:
+            oracle.update(item)
+        m = finished._coordinator.round_base
+        theta = finished._coordinator.theta
+        for node in finished.tree.nodes.values():
+            true = oracle.rank_leq(node.hi - 1) - oracle.rank_less(node.lo)
+            assert node.su <= true
+            assert true - node.su <= theta * m + 1
+
+
+class TestDegenerateStreams:
+    def test_single_value_stream(self):
+        params = TrackingParams(num_sites=2, epsilon=0.2, universe_size=64)
+        protocol = AllQuantilesProtocol(params)
+        for index in range(2000):
+            protocol.process(index % 2, 17)
+        assert protocol.quantile(0.5) == 17
+        assert protocol.rank(16) <= 0.2 * 2000
+        assert protocol.rank(17) >= (1 - 0.2) * 2000
+
+    def test_two_value_stream(self):
+        params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=8)
+        protocol = AllQuantilesProtocol(params)
+        arrivals = ([1] * 3 + [5] * 7) * 300
+        for index, item in enumerate(arrivals):
+            protocol.process(index % 2, item)
+        n = len(arrivals)
+        assert abs(protocol.rank(1) - 0.3 * n) <= 0.1 * n
+        assert abs(protocol.rank(5) - n) <= 0.1 * n
+        assert protocol.quantile(0.9) == 5
+
+
+class TestDerivedHeavyHitters:
+    def test_heavy_hitters_from_quantile_structure(self):
+        """The [7] observation: 2eps-approximate HH from the rank structure."""
+        params = TrackingParams(num_sites=4, epsilon=0.04, universe_size=UNIVERSE)
+        from repro.workloads import mixture_stream
+
+        stream = make_stream(
+            mixture_stream,
+            round_robin_partitioner,
+            10_000,
+            UNIVERSE,
+            4,
+            seed=6,
+            heavy_items={300: 0.25, 2222: 0.15},
+        )
+        protocol = AllQuantilesProtocol(params)
+        protocol.process_stream(stream)
+        hitters = protocol.heavy_hitters(0.12)
+        assert 300 in hitters
+        assert 2222 in hitters
+        oracle = ExactTracker(UNIVERSE)
+        for _site, item in stream:
+            oracle.update(item)
+        for item in hitters:
+            # 2eps-approximate: nothing below (phi - 2eps) reported.
+            assert oracle.frequency(item) >= (0.12 - 2 * 0.04) * oracle.total
+
+
+class TestMechanics:
+    def test_rounds_follow_doubling(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = AllQuantilesProtocol(params)
+        protocol.process_stream(uniform_arrivals)
+        import math
+
+        doublings = math.log2(len(uniform_arrivals) / params.warmup_items)
+        assert 1 <= protocol.rounds_completed <= 2 * doublings + 3
+
+    def test_estimated_total(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = AllQuantilesProtocol(params)
+        protocol.process_stream(uniform_arrivals)
+        n = len(uniform_arrivals)
+        assert abs(protocol.estimated_total - n) <= params.epsilon * n
+
+    def test_quantile_rejects_bad_phi(self, params):
+        protocol = AllQuantilesProtocol(params)
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            protocol.quantile(-0.5)
+
+    def test_sketch_sites_variant(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = AllQuantilesProtocol(params, use_sketch_sites=True)
+        oracle = ExactTracker(UNIVERSE)
+        for site_id, item in uniform_arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        value = protocol.quantile(0.5)
+        # Sketch variant trades constants: allow 2x epsilon.
+        assert oracle.quantile_rank_offset(value, 0.5) <= 2 * params.epsilon

@@ -1,0 +1,79 @@
+"""Regression tests for subtle all-quantiles bugs found during development.
+
+1. *Summary-resolution thrash*: rebuild summaries must be ε-resolution
+   (bucket ``ε·m/32k``), not interval-relative — coarse summaries make deep
+   splitting elements garbage and the balance invariant rebuilds cascade
+   (thousands of rebuilds instead of ~one leaf split budget per round).
+2. *Mid-walk reentrancy*: a site's root-to-leaf count walk can trigger a
+   rebuild that replaces the rest of its own path; the walk must abort
+   instead of dereferencing removed nodes.
+3. *Hot-value ties*: a value holding most of a subtree's mass must end up
+   isolated (skewed splits) rather than rebuilding forever.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.workloads import make_stream, round_robin_partitioner, zipf_stream
+
+UNIVERSE = 1 << 14
+
+
+def test_rebuilds_stay_within_amortised_budget():
+    """Partial rebuilds per round must be O(1/eps), not O(n)."""
+    epsilon = 0.05
+    params = TrackingParams(num_sites=4, epsilon=epsilon, universe_size=UNIVERSE)
+    protocol = AllQuantilesProtocol(params)
+    stream = make_stream(
+        zipf_stream, round_robin_partitioner, 30_000, UNIVERSE, 4, seed=0, skew=1.2
+    )
+    protocol.process_stream(stream)
+    rounds = max(1, protocol.rounds_completed)
+    # Leaf splits alone are Theta(1/eps) per round; allow a small multiple
+    # for invariant repairs. The thrash bug produced ~40x this.
+    assert protocol.partial_rebuilds / rounds <= 6 / epsilon
+
+
+def test_cost_not_worse_than_small_constant_times_naive():
+    """At 30k items the protocol must already be within ~10x of naive
+    (the thrash bug put it at >60x and growing)."""
+    params = TrackingParams(num_sites=4, epsilon=0.05, universe_size=UNIVERSE)
+    protocol = AllQuantilesProtocol(params)
+    n = 30_000
+    stream = make_stream(
+        zipf_stream, round_robin_partitioner, n, UNIVERSE, 4, seed=0, skew=1.2
+    )
+    protocol.process_stream(stream)
+    assert protocol.stats.words <= 10 * 2 * n
+
+
+def test_single_hot_value_isolates_into_narrow_leaf():
+    """80% of mass on one value: the tree must pin it down exactly."""
+    params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=UNIVERSE)
+    protocol = AllQuantilesProtocol(params)
+    hot = 7777
+    for index in range(20_000):
+        item = hot if index % 5 else 1 + (index * 31) % UNIVERSE
+        protocol.process(index % 2, item)
+    # The hot value's leaf is single-value, so its rank jump is sharp.
+    n = protocol.items_processed
+    jump = protocol.rank(hot) - protocol.rank(hot - 1)
+    assert jump >= (0.8 - 2 * params.epsilon) * n
+    # And the structure did not melt down rebuilding.
+    rounds = max(1, protocol.rounds_completed)
+    assert protocol.partial_rebuilds / rounds <= 6 / params.epsilon
+
+
+def test_reentrant_walks_survive_long_adversarial_run():
+    """Sorted arrivals force constant splits/rebuilds right under active
+    site walks; the run must complete without ProtocolError."""
+    params = TrackingParams(num_sites=3, epsilon=0.1, universe_size=UNIVERSE)
+    protocol = AllQuantilesProtocol(params)
+    for index in range(20_000):
+        item = 1 + index % UNIVERSE  # monotone sweep: mass keeps moving
+        protocol.process(index % 3, item)
+    protocol.tree.check_structure()
+    assert protocol.estimated_total >= (1 - params.epsilon) * 20_000

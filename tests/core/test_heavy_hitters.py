@@ -1,0 +1,164 @@
+"""Heavy-hitter protocol (§2.1) tests: invariants, guarantees, cost shape."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.oracle import ExactTracker, audit_heavy_hitter_protocol
+
+UNIVERSE = 1 << 12
+
+
+def run_with_oracle(protocol, arrivals):
+    oracle = ExactTracker(protocol.params.universe_size)
+    for site_id, item in arrivals:
+        protocol.process(site_id, item)
+        oracle.update(item)
+    return oracle
+
+
+class TestInvariants:
+    """The paper's invariants (2) and (3): estimates are underestimates
+    within eps*m/3."""
+
+    def test_estimates_are_bounded_underestimates(self, planted_heavy_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params)
+        oracle = run_with_oracle(protocol, planted_heavy_arrivals)
+        m = oracle.total
+        assert protocol.estimated_total <= m
+        assert protocol.estimated_total >= m - params.epsilon * m / 3
+        for item, estimate in protocol.estimated_frequencies().items():
+            true = oracle.frequency(item)
+            assert estimate <= true
+            assert estimate >= true - params.epsilon * m / 3
+
+    def test_invariants_hold_at_every_step(self):
+        params = TrackingParams(num_sites=3, epsilon=0.2, universe_size=64)
+        protocol = HeavyHitterProtocol(params)
+        oracle = ExactTracker(64)
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        for index in range(3000):
+            item = int(rng.integers(1, 17))
+            protocol.process(index % 3, item)
+            oracle.update(item)
+            if protocol.in_warmup:
+                continue
+            m = oracle.total
+            assert protocol.estimated_total <= m
+            assert protocol.estimated_total >= m - params.epsilon * m / 3
+
+
+class TestGuarantee:
+    def test_no_false_negatives_or_positives(self, planted_heavy_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.05, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params)
+        report = audit_heavy_hitter_protocol(
+            protocol, planted_heavy_arrivals, phi=0.1, checkpoint_every=250
+        )
+        assert report.ok, report.violations
+        assert report.checkpoints > 20
+
+    def test_planted_hitters_found(self, planted_heavy_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.05, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params)
+        protocol.process_stream(planted_heavy_arrivals)
+        hitters = protocol.heavy_hitters(0.1)
+        assert 17 in hitters  # planted at 20%
+        assert 1000 in hitters  # planted at 12%
+
+    def test_query_during_warmup_is_exact(self):
+        params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=64)
+        protocol = HeavyHitterProtocol(params)
+        for _ in range(5):
+            protocol.process(0, 7)
+        protocol.process(1, 9)
+        assert protocol.in_warmup
+        assert 7 in protocol.heavy_hitters(0.5)
+        assert 9 not in protocol.heavy_hitters(0.5)
+
+    def test_phi_must_exceed_epsilon(self, params):
+        protocol = HeavyHitterProtocol(params)
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            protocol.heavy_hitters(0.05)  # phi <= eps=0.1
+
+
+class TestCostShape:
+    def test_cost_grows_logarithmically_in_n(self):
+        """Doubling n adds a roughly constant number of words."""
+        words = []
+        for n in [4_000, 8_000, 16_000]:
+            params = TrackingParams(
+                num_sites=4, epsilon=0.1, universe_size=UNIVERSE
+            )
+            protocol = HeavyHitterProtocol(params)
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+            items = rng.zipf(1.4, size=n)
+            items = np.minimum(items, UNIVERSE)
+            for index, item in enumerate(items):
+                protocol.process(index % 4, int(item))
+            words.append(protocol.stats.words)
+        increments = [words[1] - words[0], words[2] - words[1]]
+        # Log growth: increments comparable, far below doubling.
+        assert words[2] < 1.8 * words[1]
+        assert increments[1] < 2.5 * max(1, increments[0])
+
+    def test_round_count_matches_theory(self, zipf_arrivals):
+        """Rounds ~ log_{1+eps/3}(n / warmup)."""
+        params = TrackingParams(num_sites=4, epsilon=0.2, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params)
+        protocol.process_stream(zipf_arrivals)
+        n = len(zipf_arrivals)
+        predicted = math.log(n / params.warmup_items) / math.log(
+            1 + params.epsilon / 3
+        )
+        assert 0.3 * predicted <= protocol.rounds_completed <= 2.5 * predicted
+
+
+class TestSketchVariant:
+    def test_sketch_sites_still_correct(self, planted_heavy_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.05, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params, use_sketch_sites=True)
+        protocol.process_stream(planted_heavy_arrivals)
+        hitters = protocol.heavy_hitters(0.1)
+        assert 17 in hitters
+        assert 1000 in hitters
+        oracle = ExactTracker(UNIVERSE)
+        for _site, item in planted_heavy_arrivals:
+            oracle.update(item)
+        for item in hitters:
+            assert oracle.frequency(item) >= (0.1 - params.epsilon) * oracle.total
+
+    def test_sketch_sites_bound_space(self, zipf_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params, use_sketch_sites=True)
+        protocol.process_stream(zipf_arrivals)
+        for site in protocol._sites:
+            assert len(site.sketch.items()) <= site.sketch.capacity
+
+
+class TestAdversaryHook:
+    def test_threshold_positive_and_honest(self, zipf_arrivals):
+        """Sending exactly the reported threshold forces a message."""
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params)
+        protocol.process_stream(zipf_arrivals)
+        item = 33
+        threshold = protocol.site_trigger_threshold(0, item)
+        assert threshold >= 1
+        before = protocol.stats.snapshot()
+        for _ in range(threshold):
+            protocol.process(0, item)
+        delta = protocol.stats.snapshot() - before
+        assert delta.messages >= 1

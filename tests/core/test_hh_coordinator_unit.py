@@ -1,0 +1,77 @@
+"""Direct unit tests of the §2.1 coordinator's message handling."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.heavy_hitters.coordinator import HeavyHitterCoordinator
+from repro.core.heavy_hitters.site import (
+    MSG_ALL,
+    MSG_ITEM,
+    HeavyHitterSite,
+)
+from repro.network.message import Message
+from repro.network.runtime import Network
+
+
+@pytest.fixture
+def setup():
+    params = TrackingParams(num_sites=3, epsilon=0.3, universe_size=64)
+    network = Network(3)
+    sites = [HeavyHitterSite(i, network, params) for i in range(3)]
+    coordinator = HeavyHitterCoordinator(network, params)
+    network.bind(coordinator, sites)
+    for site in sites:
+        site.bootstrap([1, 2, 3], 9)
+    coordinator.bootstrap(Counter({1: 3, 2: 3, 3: 3}), 9)
+    return params, network, coordinator, sites
+
+
+class TestMessageHandling:
+    def test_item_message_accumulates(self, setup):
+        _params, _network, coordinator, _sites = setup
+        coordinator.on_message(0, Message(MSG_ITEM, (7, 5)))
+        coordinator.on_message(1, Message(MSG_ITEM, (7, 2)))
+        assert coordinator.item_estimates[7] == 7
+
+    def test_all_message_accumulates(self, setup):
+        _params, _network, coordinator, _sites = setup
+        before = coordinator.global_estimate
+        coordinator.on_message(0, Message(MSG_ALL, 4))
+        assert coordinator.global_estimate == before + 4
+
+    def test_k_all_signals_trigger_sync(self, setup):
+        _params, _network, coordinator, sites = setup
+        for site in sites:
+            site.local_total = 100  # pretend growth happened
+        for site_id in range(3):
+            coordinator.on_message(site_id, Message(MSG_ALL, 1))
+        # Synchronisation collected exact counts and broadcast them.
+        assert coordinator.global_estimate == 300
+        assert coordinator.rounds_completed == 1
+        for site in sites:
+            assert site.global_estimate == 300
+            assert site.delta_total == 0
+
+    def test_unknown_kind_rejected(self, setup):
+        _params, _network, coordinator, _sites = setup
+        with pytest.raises(ValueError):
+            coordinator.on_message(0, Message("bogus"))
+
+
+class TestClassification:
+    def test_margin_applied(self, setup):
+        _params, _network, coordinator, _sites = setup
+        # Estimates: items 1..3 at 3/9 each.
+        assert 1 in coordinator.classify(phi=0.33, margin=0.0)
+        assert 1 not in coordinator.classify(phi=0.34, margin=0.0)
+        assert 1 in coordinator.classify(phi=0.34, margin=-0.05)
+
+    def test_empty_when_no_items(self):
+        params = TrackingParams(num_sites=2, epsilon=0.2, universe_size=8)
+        network = Network(2)
+        coordinator = HeavyHitterCoordinator(network, params)
+        assert coordinator.classify(0.5, 0.0) == {}

@@ -1,0 +1,79 @@
+"""Local store tests: exact store correctness, GK store approximation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.localstore import ExactLocalStore, GKLocalStore
+
+
+class TestExactLocalStore:
+    def test_counts(self):
+        store = ExactLocalStore([5, 1, 9, 5])
+        assert store.total == 4
+        assert store.count_less(5) == 1
+        assert store.count_leq(5) == 3
+        assert store.range_count(2, 6) == 2
+
+    def test_insert(self):
+        store = ExactLocalStore()
+        store.insert(3)
+        store.insert(1)
+        assert store.count_leq(3) == 2
+
+    def test_summary(self):
+        store = ExactLocalStore(list(range(1, 13)))
+        count, bucket, separators = store.summary(1, 13, bucket=3)
+        assert count == 12
+        assert bucket == 3
+        assert separators == [3, 6, 9, 12]
+
+    def test_summary_empty_range(self):
+        store = ExactLocalStore([100])
+        assert store.summary(1, 50, bucket=4) == (0, 1, [])
+
+    def test_summary_bucket_floor(self):
+        store = ExactLocalStore([1, 2, 3])
+        count, bucket, separators = store.summary(1, 10, bucket=0)
+        assert bucket == 1
+        assert separators == [1, 2, 3]
+
+
+class TestGKLocalStore:
+    def test_tracks_total_exactly(self):
+        store = GKLocalStore(0.1, items=[1, 2, 3])
+        assert store.total == 3
+
+    def test_summary_shape(self):
+        store = GKLocalStore(0.05, items=list(range(1, 201)))
+        count, bucket, separators = store.summary(1, 201, bucket=25)
+        assert abs(count - 200) <= 0.05 * 200 * 2
+        assert separators == sorted(separators)
+        # Separators cover the range at roughly bucket spacing.
+        assert 4 <= len(separators) <= 12
+
+    def test_summary_rank_reconstruction(self):
+        store = GKLocalStore(0.02, items=list(range(1, 401)))
+        count, bucket, separators = store.summary(1, 401, bucket=40)
+        for probe in (50, 150, 350):
+            estimate = bucket * sum(1 for sep in separators if sep <= probe)
+            assert abs(estimate - probe) <= 2 * bucket + 0.02 * 400
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=st.lists(
+        st.integers(min_value=1, max_value=500), min_size=10, max_size=300
+    )
+)
+def test_gk_store_approximates_exact(items):
+    """GK store's rank answers stay within eps*n of the exact store's."""
+    epsilon = 0.1
+    exact = ExactLocalStore(items)
+    approx = GKLocalStore(epsilon, items)
+    n = len(items)
+    for probe in [1, 100, 250, 400, 500]:
+        assert abs(approx.count_leq(probe) - exact.count_leq(probe)) <= (
+            epsilon * n + 1
+        )

@@ -1,0 +1,151 @@
+"""Single-quantile protocol (§3.1) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.quantile import QuantileProtocol
+from repro.oracle import ExactTracker, audit_quantile_protocol
+from repro.workloads import (
+    make_stream,
+    round_robin_partitioner,
+    shifting_stream,
+    skewed_partitioner,
+    uniform_stream,
+)
+
+UNIVERSE = 1 << 12
+
+
+class TestMedianGuarantee:
+    def test_median_always_within_eps(self, uniform_arrivals, tight_params):
+        protocol = QuantileProtocol(tight_params, phi=0.5)
+        report = audit_quantile_protocol(
+            protocol, uniform_arrivals, checkpoint_every=200
+        )
+        assert report.ok, report.violations[:3]
+        assert report.max_error <= tight_params.epsilon
+
+    def test_shifting_distribution(self, tight_params):
+        stream = make_stream(
+            shifting_stream, round_robin_partitioner, 8_000, UNIVERSE, 4, seed=9
+        )
+        protocol = QuantileProtocol(tight_params, phi=0.5)
+        report = audit_quantile_protocol(protocol, stream, checkpoint_every=200)
+        assert report.ok, report.violations[:3]
+
+    def test_skewed_site_assignment(self, tight_params):
+        stream = make_stream(
+            uniform_stream, skewed_partitioner, 8_000, UNIVERSE, 4, seed=10
+        )
+        protocol = QuantileProtocol(tight_params, phi=0.5)
+        report = audit_quantile_protocol(protocol, stream, checkpoint_every=200)
+        assert report.ok, report.violations[:3]
+
+
+class TestOtherQuantiles:
+    @pytest.mark.parametrize("phi", [0.1, 0.25, 0.75, 0.95])
+    def test_arbitrary_phi(self, phi, uniform_arrivals, tight_params):
+        protocol = QuantileProtocol(tight_params, phi=phi)
+        report = audit_quantile_protocol(
+            protocol, uniform_arrivals, checkpoint_every=400
+        )
+        assert report.ok, report.violations[:3]
+
+    def test_invalid_phi_rejected(self, params):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            QuantileProtocol(params, phi=1.5)
+
+
+class TestDegenerateStreams:
+    def test_two_value_universe(self):
+        """The §3.2 lower-bound regime: only two distinct values, with the
+        majority flipping — the tracked median must follow."""
+        params = TrackingParams(num_sites=2, epsilon=0.05, universe_size=4)
+        protocol = QuantileProtocol(params, phi=0.5)
+        oracle = ExactTracker(4)
+        arrivals = [1] * 600 + [2] * 1400 + [1] * 2000
+        for index, item in enumerate(arrivals):
+            protocol.process(index % 2, item)
+            oracle.update(item)
+            if not protocol.in_warmup and index % 100 == 0:
+                offset = oracle.quantile_rank_offset(protocol.quantile(), 0.5)
+                assert offset <= params.epsilon, f"at index {index}"
+
+    def test_all_items_identical(self):
+        params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=64)
+        protocol = QuantileProtocol(params, phi=0.5)
+        for index in range(2000):
+            protocol.process(index % 2, 33)
+        assert protocol.quantile() == 33
+
+    def test_sorted_arrivals(self, tight_params):
+        """Monotone increasing values keep dragging the median right."""
+        protocol = QuantileProtocol(tight_params, phi=0.5)
+        oracle = ExactTracker(UNIVERSE)
+        for index in range(6000):
+            item = (index % UNIVERSE) + 1
+            protocol.process(index % 4, item)
+            oracle.update(item)
+        offset = oracle.quantile_rank_offset(protocol.quantile(), 0.5)
+        assert offset <= tight_params.epsilon
+
+
+class TestMechanics:
+    def test_rounds_follow_doubling(self, uniform_arrivals, params):
+        protocol = QuantileProtocol(params, phi=0.5)
+        protocol.process_stream(uniform_arrivals)
+        n = len(uniform_arrivals)
+        import math
+
+        doublings = math.log2(n / params.warmup_items)
+        assert protocol.rounds_completed >= doublings - 1
+        assert protocol.rounds_completed <= 2 * doublings + 3
+
+    def test_estimated_total_tracks_n(self, uniform_arrivals, params):
+        protocol = QuantileProtocol(params, phi=0.5)
+        protocol.process_stream(uniform_arrivals)
+        n = len(uniform_arrivals)
+        assert abs(protocol.estimated_total - n) <= params.epsilon * n
+
+    def test_splits_bounded_per_round(self, uniform_arrivals, params):
+        protocol = QuantileProtocol(params, phi=0.5)
+        protocol.process_stream(uniform_arrivals)
+        rounds = max(1, protocol.rounds_completed)
+        # O(1/eps) splits per round with a generous constant.
+        assert protocol.splits / rounds <= 32 / params.epsilon
+
+    def test_quantile_during_warmup(self):
+        params = TrackingParams(num_sites=2, epsilon=0.5, universe_size=64)
+        protocol = QuantileProtocol(params, phi=0.5)
+        protocol.process(0, 10)
+        protocol.process(1, 20)
+        assert protocol.in_warmup
+        assert protocol.quantile() in (10, 20)
+
+    def test_quantile_before_any_item_raises(self):
+        params = TrackingParams(num_sites=2, epsilon=0.5, universe_size=64)
+        protocol = QuantileProtocol(params, phi=0.5)
+        with pytest.raises(IndexError):
+            protocol.quantile()
+
+
+class TestSketchVariant:
+    def test_gk_sites_track_median(self, uniform_arrivals, params):
+        protocol = QuantileProtocol(params, phi=0.5, use_sketch_sites=True)
+        oracle = ExactTracker(UNIVERSE)
+        for site_id, item in uniform_arrivals:
+            protocol.process(site_id, item)
+            oracle.update(item)
+        # Sketch variant trades constants: allow 2x epsilon.
+        offset = oracle.quantile_rank_offset(protocol.quantile(), 0.5)
+        assert offset <= 2 * params.epsilon
+
+    def test_gk_sites_use_less_space(self, uniform_arrivals, params):
+        protocol = QuantileProtocol(params, phi=0.5, use_sketch_sites=True)
+        protocol.process_stream(uniform_arrivals)
+        for site in protocol._sites:
+            assert site.sketch.tuple_count < site.local_total

@@ -1,0 +1,107 @@
+"""Direct unit tests of the §3.1 coordinator's internal machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.quantile.coordinator import merge_rank_estimator
+from repro.core.quantile.protocol import QuantileProtocol
+
+UNIVERSE = 1 << 10
+
+
+class TestMergeRankEstimator:
+    def test_single_site(self):
+        total, candidates, est_rank = merge_rank_estimator(
+            [(9, 3, [3, 6, 9])]
+        )
+        assert total == 9
+        assert candidates == [3, 6, 9]
+        assert est_rank(2) == 0
+        assert est_rank(3) == 3
+        assert est_rank(9) == 9
+
+    def test_multi_site_error_bound(self):
+        """est_rank error is below the sum of the per-site buckets."""
+        site_a = sorted([1, 5, 9, 13, 17, 21])
+        site_b = sorted([2, 4, 6, 8, 10, 12])
+        replies = [
+            (6, 2, [5, 13, 21]),  # every 2nd item of site_a
+            (6, 2, [4, 8, 12]),  # every 2nd item of site_b
+        ]
+        total, _candidates, est_rank = merge_rank_estimator(replies)
+        assert total == 12
+        for probe in range(0, 25):
+            exact = sum(1 for v in site_a + site_b if v <= probe)
+            assert abs(est_rank(probe) - exact) <= 4  # sum of buckets
+
+    def test_empty_sites(self):
+        total, candidates, est_rank = merge_rank_estimator(
+            [(0, 1, []), (0, 1, [])]
+        )
+        assert total == 0
+        assert candidates == []
+        assert est_rank(100) == 0
+
+
+def build_protocol(arrivals):
+    params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=UNIVERSE)
+    protocol = QuantileProtocol(params, phi=0.5)
+    for index, item in enumerate(arrivals):
+        protocol.process(index % 2, item)
+    return protocol
+
+
+class TestCoordinatorPaths:
+    def test_interval_counts_are_underestimates(self):
+        arrivals = [1 + (i * 37) % UNIVERSE for i in range(4000)]
+        protocol = build_protocol(arrivals)
+        coordinator = protocol._coordinator
+        partition = coordinator.partition
+        # Every coordinator interval count must not exceed the exact count.
+        from collections import Counter
+
+        exact = Counter(arrivals)
+        for index in range(len(partition)):
+            interval = partition.interval(index)
+            true = sum(
+                cnt
+                for value, cnt in exact.items()
+                if interval.lo <= value < interval.hi
+            )
+            assert interval.count <= true
+
+    def test_splits_keep_partitions_aligned_with_sites(self):
+        arrivals = [1 + (i * 101) % UNIVERSE for i in range(5000)]
+        protocol = build_protocol(arrivals)
+        bounds = protocol._coordinator.partition.boundaries()
+        for site in protocol._sites:
+            assert site._boundaries == bounds
+
+    def test_tracked_position_synchronised(self):
+        arrivals = [1 + (i * 13) % UNIVERSE for i in range(3000)]
+        protocol = build_protocol(arrivals)
+        tracked = protocol._coordinator.tracked
+        for site in protocol._sites:
+            assert site.tracked_position == tracked
+
+    def test_unsplittable_interval_survives(self):
+        """Hammering one value makes its interval unsplittable, not fatal."""
+        arrivals = [500] * 6000
+        protocol = build_protocol(arrivals)
+        assert protocol.quantile() == 500
+
+    def test_rebuild_requires_items(self):
+        from repro.common.errors import ProtocolError
+        from repro.core.quantile.coordinator import QuantileCoordinator
+        from repro.core.quantile.site import QuantileSite
+        from repro.network.runtime import Network
+
+        params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=64)
+        network = Network(2)
+        sites = [QuantileSite(i, network, params) for i in range(2)]
+        coordinator = QuantileCoordinator(network, params, 0.5)
+        network.bind(coordinator, sites)
+        with pytest.raises(ProtocolError):
+            coordinator.rebuild()

@@ -1,0 +1,118 @@
+"""Unit tests for the Figure-1 tree structure itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.all_quantiles.tree import QuantileTree, TreeNode, height_bound
+
+
+def build_small_tree() -> QuantileTree:
+    """[1,9) split at 4: left [1,5), right [5,9); right split at 6."""
+    tree = QuantileTree(universe_size=8)
+    tree.add_node(TreeNode(node_id=0, lo=1, hi=9, left=1, right=2))
+    tree.add_node(TreeNode(node_id=1, lo=1, hi=5, parent=0, su=4))
+    tree.add_node(TreeNode(node_id=2, lo=5, hi=9, parent=0, left=3, right=4))
+    tree.add_node(TreeNode(node_id=3, lo=5, hi=7, parent=2, su=3))
+    tree.add_node(TreeNode(node_id=4, lo=7, hi=9, parent=2, su=1))
+    tree.root_id = 0
+    tree.node(0).su = 8
+    tree.node(2).su = 4
+    tree._next_id = 5
+    return tree
+
+
+class TestStructure:
+    def test_check_structure_passes(self):
+        build_small_tree().check_structure()
+
+    def test_check_structure_catches_bad_tiling(self):
+        tree = build_small_tree()
+        tree.node(1).hi = 4  # gap between left child and right child
+        with pytest.raises(ProtocolError):
+            tree.check_structure()
+
+    def test_leaf_for(self):
+        tree = build_small_tree()
+        assert tree.leaf_for(1).node_id == 1
+        assert tree.leaf_for(4).node_id == 1
+        assert tree.leaf_for(5).node_id == 3
+        assert tree.leaf_for(8).node_id == 4
+
+    def test_path_to(self):
+        tree = build_small_tree()
+        assert tree.path_to(4) == [0, 2, 4]
+        assert tree.path_to(0) == [0]
+
+    def test_path_to_detached_node_raises(self):
+        tree = build_small_tree()
+        tree.add_node(TreeNode(node_id=9, lo=1, hi=2, parent=7))
+        tree.add_node(TreeNode(node_id=7, lo=1, hi=3, parent=-1))
+        with pytest.raises(ProtocolError):
+            tree.path_to(9)
+
+    def test_preorder(self):
+        tree = build_small_tree()
+        assert tree.preorder() == [0, 1, 2, 3, 4]
+        assert tree.preorder(2) == [2, 3, 4]
+
+    def test_leaves_left_to_right(self):
+        tree = build_small_tree()
+        assert [leaf.node_id for leaf in tree.leaves()] == [1, 3, 4]
+
+    def test_height(self):
+        assert build_small_tree().height() == 2
+
+    def test_remove_subtree(self):
+        tree = build_small_tree()
+        removed = tree.remove_subtree(2)
+        assert sorted(removed) == [2, 3, 4]
+        assert 2 not in tree.nodes
+        assert tree.preorder() == [0, 1]
+
+    def test_fresh_ids_never_reused(self):
+        tree = build_small_tree()
+        first = tree.fresh_id()
+        tree.remove_subtree(tree.root_id)
+        assert tree.fresh_id() > first
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ProtocolError):
+            build_small_tree().node(99)
+
+
+class TestQueries:
+    def test_estimate_rank(self):
+        tree = build_small_tree()
+        assert tree.estimate_rank(0) == 0
+        # Inside the left leaf: midpoint of its count.
+        assert tree.estimate_rank(2) == 4 // 2
+        # Leaf maximum counts the full leaf.
+        assert tree.estimate_rank(4) == 4
+        assert tree.estimate_rank(8) == 8
+        assert tree.estimate_rank(100) == 8
+
+    def test_estimate_quantile(self):
+        tree = build_small_tree()
+        # target rank 3.2 of 8 lands in the left leaf [1,5) (4 items);
+        # interpolation at fraction 0.8 of the value range gives 3.
+        assert tree.estimate_quantile(0.4) == 3
+        # target 7.92 lands in the right leaf [7,9); interpolation floors
+        # to value 7 (both 7 and 8 satisfy the rank contract).
+        assert tree.estimate_quantile(0.99) == 7
+
+    def test_empty_tree_quantile_raises(self):
+        tree = build_small_tree()
+        for node in tree.nodes.values():
+            node.su = 0
+        with pytest.raises(IndexError):
+            tree.estimate_quantile(0.5)
+
+
+class TestHeightBound:
+    def test_monotone_in_one_over_eps(self):
+        assert height_bound(0.01) >= height_bound(0.1) >= 8
+
+    def test_floor(self):
+        assert height_bound(0.5) == 8

@@ -1,0 +1,73 @@
+"""Jumping-window extension tests (§5 open problem, relaxed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.extensions import JumpingWindowHeavyHitters, JumpingWindowQuantiles
+
+UNIVERSE = 1 << 12
+PARAMS = TrackingParams(num_sites=3, epsilon=0.1, universe_size=UNIVERSE)
+
+
+class TestCoverage:
+    def test_covered_stays_within_half_to_full_window(self):
+        tracker = JumpingWindowHeavyHitters(window=1000, params=PARAMS)
+        for index in range(5000):
+            tracker.process(index % 3, 1 + index % 64)
+            if index >= 1000:
+                assert 500 <= tracker.covered <= 1000, f"at {index}"
+
+    def test_invalid_window(self):
+        with pytest.raises(Exception):
+            JumpingWindowHeavyHitters(window=1, params=PARAMS)
+        with pytest.raises(Exception):
+            JumpingWindowHeavyHitters(window=0, params=PARAMS)
+
+
+class TestExpiry:
+    def test_old_heavy_hitter_expires(self):
+        """An item that dominated long ago must drop out of the window view."""
+        tracker = JumpingWindowHeavyHitters(window=2000, params=PARAMS)
+        for index in range(2000):  # phase 1: item 7 dominates
+            tracker.process(index % 3, 7 if index % 2 else 1 + index % 50)
+        assert 7 in tracker.heavy_hitters(0.3)
+        for index in range(5000):  # phase 2: item 7 disappears entirely
+            tracker.process(index % 3, 100 + index % 50)
+        assert 7 not in tracker.heavy_hitters(0.3)
+
+    def test_recent_heavy_hitter_detected(self):
+        tracker = JumpingWindowHeavyHitters(window=2000, params=PARAMS)
+        for index in range(4000):  # background
+            tracker.process(index % 3, 1 + index % 500)
+        for index in range(3000):  # item 9 floods recent history
+            tracker.process(index % 3, 9 if index % 2 else 1 + index % 500)
+        assert 9 in tracker.heavy_hitters(0.3)
+
+
+class TestWindowQuantiles:
+    def test_quantile_follows_recent_distribution(self):
+        tracker = JumpingWindowQuantiles(window=3000, params=PARAMS)
+        for index in range(4000):  # old phase: low values
+            tracker.process(index % 3, 1 + index % 100)
+        for index in range(7000):  # new phase: high values
+            tracker.process(index % 3, 3000 + index % 100)
+        # The full-stream median would be ~mixed; the window median must
+        # reflect only the recent high phase.
+        assert tracker.quantile(0.5) >= 2900
+
+    def test_rank_within_window(self):
+        tracker = JumpingWindowQuantiles(window=2000, params=PARAMS)
+        for index in range(6000):
+            tracker.process(index % 3, 1 + index % 1000)
+        covered = tracker.covered
+        assert abs(tracker.rank(500) - covered / 2) <= 0.2 * covered
+
+
+class TestAccounting:
+    def test_total_words_positive_and_bounded(self):
+        tracker = JumpingWindowHeavyHitters(window=1000, params=PARAMS)
+        for index in range(3000):
+            tracker.process(index % 3, 1 + index % 64)
+        assert 0 < tracker.total_words < 2 * 2 * 3000  # < 2 instances naive

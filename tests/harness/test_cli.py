@@ -1,0 +1,25 @@
+"""CLI tests."""
+
+from __future__ import annotations
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults_to_list(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == ["list"]
+        assert not args.full
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["E1", "--full"])
+        assert args.full
+        assert args.experiments == ["E1"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+        assert "E12" in out

@@ -1,0 +1,46 @@
+"""Experiment registry and result-rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentResult, run_experiment
+from repro.harness.registry import EXPERIMENTS, experiment_ids
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = [f"E{index}" for index in range(1, 14)]
+        expected += [f"A{index}" for index in range(1, 4)]
+        assert experiment_ids() == expected
+
+    def test_ids_callable(self):
+        for experiment_id, runner in EXPERIMENTS.items():
+            assert callable(runner), experiment_id
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        assert "E1" in EXPERIMENTS
+        # run_experiment normalises case; just check lookup path.
+        with pytest.raises(KeyError):
+            run_experiment("e99")
+
+
+class TestExperimentResult:
+    def test_render_contains_claim_and_table(self):
+        result = ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            paper_claim="cost is low",
+            headers=["n", "words"],
+            rows=[[10, 20]],
+            notes=["a note"],
+        )
+        rendered = result.render()
+        assert "EX: demo" in rendered
+        assert "cost is low" in rendered
+        assert "20" in rendered
+        assert "note: a note" in rendered

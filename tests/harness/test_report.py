@@ -1,0 +1,34 @@
+"""Report formatting tests."""
+
+from __future__ import annotations
+
+from repro.harness.report import ascii_table, format_number
+
+
+class TestFormatNumber:
+    def test_ints_grouped(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_floats_compact(self):
+        assert format_number(0.123456) == "0.1235"
+        assert format_number(12345.6) == "12,346"
+        assert format_number(0.0) == "0"
+
+    def test_passthrough(self):
+        assert format_number("abc") == "abc"
+        assert format_number(None) == "None"
+        assert format_number(True) == "True"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_contains_values(self):
+        table = ascii_table(["x"], [[42]])
+        assert "42" in table
+        assert "x" in table

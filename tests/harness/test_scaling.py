@@ -1,0 +1,67 @@
+"""Scaling-fit helper tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness.scaling import (
+    doubling_ratios,
+    fit_log_r2,
+    fit_loglog_slope,
+    linear_r2,
+)
+
+
+class TestFitLogLog:
+    def test_linear_data(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x for x in xs]
+        slope, r2 = fit_loglog_slope(xs, ys)
+        assert abs(slope - 1) < 0.01
+        assert r2 > 0.999
+
+    def test_quadratic_data(self):
+        xs = [1, 2, 4, 8]
+        ys = [x * x for x in xs]
+        slope, _r2 = fit_loglog_slope(xs, ys)
+        assert abs(slope - 2) < 0.01
+
+    def test_logarithmic_data_has_small_slope(self):
+        xs = [10, 100, 1000, 10000]
+        ys = [math.log(x) for x in xs]
+        slope, _r2 = fit_loglog_slope(xs, ys)
+        assert slope < 0.5
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1], [1])
+
+
+class TestFitLog:
+    def test_log_data_fits_perfectly(self):
+        xs = [10, 100, 1000]
+        ys = [5 + 2 * math.log(x) for x in xs]
+        b, r2 = fit_log_r2(xs, ys)
+        assert abs(b - 2) < 1e-9
+        assert r2 > 0.999
+
+
+class TestLinear:
+    def test_linear_fit(self):
+        b, r2 = linear_r2([1, 2, 3], [2, 4, 6])
+        assert abs(b - 2) < 1e-9
+        assert r2 > 0.999
+
+    def test_constant_data(self):
+        _b, r2 = linear_r2([1, 2, 3], [5, 5, 5])
+        assert r2 == 1.0
+
+
+class TestDoublingRatios:
+    def test_ratios(self):
+        assert doubling_ratios([1, 2, 4]) == [2.0, 2.0]
+
+    def test_skips_zero(self):
+        assert doubling_ratios([0, 2, 4]) == [2.0]

@@ -1,0 +1,61 @@
+"""Timeline recording and sparkline rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.harness.timeline import (
+    TimelinePoint,
+    record_timeline,
+    render_timeline,
+    sparkline,
+    words_per_interval,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0, 0]) == "  "
+
+    def test_monotone_heights(self):
+        line = sparkline([1, 2, 4, 8])
+        assert len(line) == 4
+        assert line[-1] == "█"
+
+    def test_peak_is_full_bar(self):
+        assert sparkline([5])[-1] == "█"
+
+
+class TestRecordTimeline:
+    @pytest.fixture
+    def points(self, uniform_arrivals):
+        params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=1 << 12)
+        protocol = HeavyHitterProtocol(params)
+        return record_timeline(protocol, uniform_arrivals, samples=32)
+
+    def test_point_count_and_monotonicity(self, points):
+        assert len(points) >= 32
+        words = [point.words for point in points]
+        assert words == sorted(words)
+        assert points[0] == TimelinePoint(0, 0, 0)
+
+    def test_items_reach_stream_length(self, points, uniform_arrivals):
+        assert points[-1].items == len(uniform_arrivals)
+
+    def test_intervals_sum_to_total(self, points):
+        assert sum(words_per_interval(points)) == points[-1].words
+
+    def test_render(self, points):
+        text = render_timeline(points)
+        assert "words/interval" in text
+        assert "total words" in text
+
+    def test_invalid_samples(self):
+        params = TrackingParams(num_sites=2, epsilon=0.5, universe_size=16)
+        with pytest.raises(ValueError):
+            record_timeline(HeavyHitterProtocol(params), [], samples=0)

@@ -1,0 +1,47 @@
+"""Determinism: identical runs must produce identical communication."""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.workloads import make_stream, round_robin_partitioner, uniform_stream
+
+UNIVERSE = 1 << 10
+
+
+def run_twice(factory):
+    stream = make_stream(
+        uniform_stream, round_robin_partitioner, 4_000, UNIVERSE, 4, seed=77
+    )
+    outcomes = []
+    for _ in range(2):
+        protocol = factory()
+        protocol.process_stream(stream)
+        outcomes.append(
+            (
+                protocol.stats.messages,
+                protocol.stats.words,
+                dict(protocol.stats.by_kind),
+            )
+        )
+    return outcomes
+
+
+def test_heavy_hitter_deterministic():
+    params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+    a, b = run_twice(lambda: HeavyHitterProtocol(params))
+    assert a == b
+
+
+def test_quantile_deterministic():
+    params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+    a, b = run_twice(lambda: QuantileProtocol(params, phi=0.5))
+    assert a == b
+
+
+def test_all_quantiles_deterministic():
+    params = TrackingParams(num_sites=4, epsilon=0.1, universe_size=UNIVERSE)
+    a, b = run_twice(lambda: AllQuantilesProtocol(params))
+    assert a == b

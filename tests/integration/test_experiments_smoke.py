@@ -1,0 +1,23 @@
+"""Smoke-run the cheap experiments end to end (the slow ones run as
+benchmarks; see benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", ["E5", "E8", "E9", "E10", "A1"])
+def test_experiment_runs_and_renders(experiment_id):
+    result = run_experiment(experiment_id, quick=True)
+    assert result.rows
+    rendered = result.render()
+    assert experiment_id in rendered
+    assert "paper claim" in rendered
+
+
+def test_e9_reports_zero_violations():
+    result = run_experiment("E9", quick=True)
+    violations_column = result.headers.index("violations")
+    assert all(row[violations_column] == 0 for row in result.rows)

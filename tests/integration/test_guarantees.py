@@ -1,0 +1,94 @@
+"""Cross-module integration: every protocol, every hostile workload combo,
+audited continuously against the exact oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.oracle import (
+    audit_heavy_hitter_protocol,
+    audit_quantile_protocol,
+    audit_rank_protocol,
+)
+from repro.workloads import (
+    block_partitioner,
+    hash_partitioner,
+    make_stream,
+    mixture_stream,
+    round_robin_partitioner,
+    sequential_stream,
+    shifting_stream,
+    skewed_partitioner,
+    uniform_stream,
+    zipf_stream,
+)
+
+UNIVERSE = 1 << 12
+N = 6_000
+PARTITIONERS = {
+    "round_robin": round_robin_partitioner,
+    "hash": hash_partitioner,
+    "skewed": skewed_partitioner,
+    "block": block_partitioner,
+}
+PARAMS = TrackingParams(num_sites=5, epsilon=0.08, universe_size=UNIVERSE)
+
+
+@pytest.mark.parametrize("partitioner_name", PARTITIONERS)
+@pytest.mark.parametrize("generator", [zipf_stream, mixture_stream])
+def test_heavy_hitter_guarantee(partitioner_name, generator):
+    kwargs = {"skew": 1.4} if generator is zipf_stream else {
+        "heavy_items": {42: 0.25, 3333: 0.12}
+    }
+    stream = make_stream(
+        generator,
+        PARTITIONERS[partitioner_name],
+        N,
+        UNIVERSE,
+        PARAMS.k,
+        seed=31,
+        **kwargs,
+    )
+    protocol = HeavyHitterProtocol(PARAMS)
+    report = audit_heavy_hitter_protocol(
+        protocol, stream, phi=0.1, checkpoint_every=300
+    )
+    assert report.ok, report.violations[:3]
+
+
+@pytest.mark.parametrize("partitioner_name", PARTITIONERS)
+@pytest.mark.parametrize(
+    "generator", [uniform_stream, shifting_stream, sequential_stream]
+)
+def test_quantile_guarantee(partitioner_name, generator):
+    stream = make_stream(
+        generator, PARTITIONERS[partitioner_name], N, UNIVERSE, PARAMS.k, seed=37
+    )
+    protocol = QuantileProtocol(PARAMS, phi=0.5)
+    report = audit_quantile_protocol(protocol, stream, checkpoint_every=300)
+    assert report.ok, report.violations[:3]
+
+
+@pytest.mark.parametrize("partitioner_name", PARTITIONERS)
+@pytest.mark.parametrize("generator", [uniform_stream, zipf_stream])
+def test_all_quantiles_guarantee(partitioner_name, generator):
+    kwargs = {"skew": 1.2} if generator is zipf_stream else {}
+    stream = make_stream(
+        generator,
+        PARTITIONERS[partitioner_name],
+        N,
+        UNIVERSE,
+        PARAMS.k,
+        seed=41,
+        **kwargs,
+    )
+    protocol = AllQuantilesProtocol(PARAMS)
+    probes = [1, 100, 1000, 2048, 4000]
+    report = audit_rank_protocol(
+        protocol, stream, probe_values=probes, checkpoint_every=300
+    )
+    assert report.ok, report.violations[:3]

@@ -1,0 +1,65 @@
+"""Hypothesis-driven end-to-end audits: random small streams, random site
+assignments — the guarantees must hold for every generated input, not just
+the curated workloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import TrackingParams
+from repro.core.all_quantiles import AllQuantilesProtocol
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.oracle import ExactTracker
+
+UNIVERSE = 64
+PARAMS = TrackingParams(num_sites=3, epsilon=0.15, universe_size=UNIVERSE)
+
+arrival_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=UNIVERSE),
+    ),
+    min_size=60,
+    max_size=400,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrivals=arrival_lists)
+def test_heavy_hitters_contract_on_random_streams(arrivals):
+    protocol = HeavyHitterProtocol(PARAMS)
+    oracle = ExactTracker(UNIVERSE)
+    for site_id, item in arrivals:
+        protocol.process(site_id, item)
+        oracle.update(item)
+    reported = protocol.heavy_hitters(phi=0.3)
+    missed, spurious = oracle.heavy_hitter_violations(reported, 0.3, 0.15)
+    assert not missed
+    assert not spurious
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrivals=arrival_lists)
+def test_median_contract_on_random_streams(arrivals):
+    protocol = QuantileProtocol(PARAMS, phi=0.5)
+    oracle = ExactTracker(UNIVERSE)
+    for site_id, item in arrivals:
+        protocol.process(site_id, item)
+        oracle.update(item)
+    offset = oracle.quantile_rank_offset(protocol.quantile(), 0.5)
+    assert offset <= PARAMS.epsilon
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrivals=arrival_lists)
+def test_rank_contract_on_random_streams(arrivals):
+    protocol = AllQuantilesProtocol(PARAMS)
+    oracle = ExactTracker(UNIVERSE)
+    for site_id, item in arrivals:
+        protocol.process(site_id, item)
+        oracle.update(item)
+    for probe in (1, 16, 32, 48, UNIVERSE):
+        error = abs(protocol.rank(probe) - oracle.rank_leq(probe))
+        assert error <= PARAMS.epsilon * oracle.total + 1

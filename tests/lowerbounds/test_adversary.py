@@ -1,0 +1,56 @@
+"""Lemma 2.3 threshold-adversary tests: forcing Omega(k) messages."""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.lowerbounds import ThresholdAdversary
+
+
+def warmed_protocol(k: int, epsilon: float = 0.02) -> HeavyHitterProtocol:
+    params = TrackingParams(num_sites=k, epsilon=epsilon, universe_size=64)
+    protocol = HeavyHitterProtocol(params)
+    # Spread a background load so thresholds are realistic.
+    for index in range(6 * params.warmup_items):
+        protocol.process(index % k, 1 + index % 32)
+    assert not protocol.in_warmup
+    return protocol
+
+
+class TestAdversary:
+    def test_forces_messages_proportional_to_k(self):
+        """The adversary's per-batch message count grows with k."""
+        forced = {}
+        for k in (4, 16):
+            protocol = warmed_protocol(k)
+            adversary = ThresholdAdversary(protocol)
+            batch = max(64, protocol.items_processed // 10)
+            outcome = adversary.deliver_batch(item=50, copies=batch)
+            forced[k] = outcome.messages_triggered
+        assert forced[16] > 2 * forced[4]
+
+    def test_adversary_beats_round_robin(self):
+        """Adversarial routing must cost at least as much as benign routing
+        (it is a worst case) for the same number of copies."""
+        protocol_a = warmed_protocol(8)
+        protocol_b = warmed_protocol(8)
+        batch = max(64, protocol_a.items_processed // 10)
+        adversarial = ThresholdAdversary(protocol_a).deliver_batch(50, batch)
+        control = ThresholdAdversary(protocol_b).deliver_round_robin(50, batch)
+        assert adversarial.messages_triggered >= control.messages_triggered
+
+    def test_forces_at_least_k_messages(self):
+        """Lemma 2.3's conclusion: a transition batch costs Omega(k)."""
+        k = 8
+        protocol = warmed_protocol(k)
+        adversary = ThresholdAdversary(protocol)
+        batch = max(128, protocol.items_processed // 5)
+        outcome = adversary.deliver_batch(item=50, copies=batch)
+        assert outcome.messages_triggered >= k
+
+    def test_outcome_accounting(self):
+        protocol = warmed_protocol(4)
+        adversary = ThresholdAdversary(protocol)
+        outcome = adversary.deliver_batch(item=50, copies=10)
+        assert outcome.deliveries == 10
+        assert outcome.words_triggered >= outcome.messages_triggered

@@ -1,0 +1,78 @@
+"""Lemma 2.2 construction tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.lowerbounds import (
+    count_heavy_hitter_changes,
+    lemma22_epsilon,
+    lemma22_stream,
+)
+
+
+class TestLemma22Epsilon:
+    def test_consistent(self):
+        epsilon = lemma22_epsilon(4, 0.13)
+        assert abs(2 * 0.13 - 2 * epsilon - 1 / 4) < 1e-12
+        assert 0 < epsilon < 0.13 / 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            lemma22_epsilon(2, 0.5)  # epsilon too large vs phi/3
+        with pytest.raises(ConfigurationError):
+            lemma22_epsilon(0, 0.1)
+
+
+class TestStream:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return lemma22_stream(4, 0.13, 30_000)
+
+    def test_reaches_target_length(self, built):
+        items, _windows, _eps = built
+        assert len(items) >= 30_000
+
+    def test_universe_is_two_groups(self, built):
+        items, _windows, _eps = built
+        assert set(items) <= set(range(1, 9))
+
+    def test_windows_cover_batches(self, built):
+        items, windows, _eps = built
+        for window in windows[:20]:
+            segment = items[window.start_index : window.end_index]
+            assert set(segment) == {window.item}
+
+    def test_many_changes(self, built):
+        """The construction must force Omega(log n / eps) changes."""
+        items, windows, epsilon = built
+        changes = count_heavy_hitter_changes(items, 0.13, epsilon)
+        # At least one change per window for most windows.
+        assert changes >= 0.5 * len(windows)
+        # And the count is in the log(n)/eps ballpark.
+        predicted = math.log(len(items)) / epsilon
+        assert changes >= predicted / 40
+
+    def test_changes_grow_with_n(self):
+        short = lemma22_stream(4, 0.13, 8_000)
+        long = lemma22_stream(4, 0.13, 64_000)
+        changes_short = count_heavy_hitter_changes(short[0], 0.13, short[2])
+        changes_long = count_heavy_hitter_changes(long[0], 0.13, long[2])
+        assert changes_long > changes_short
+
+
+class TestChangeCounter:
+    def test_simple_transition(self):
+        # 1 becomes heavy immediately; 2 never crosses phi.
+        items = [1, 1, 1, 2]
+        assert count_heavy_hitter_changes(items, phi=0.5, epsilon=0.1) == 1
+
+    def test_oscillation_counted_once_per_crossing(self):
+        # Item 1 heavy, diluted below phi-eps, then heavy again; item 2
+        # crosses phi once in the middle. Three upward crossings total.
+        items = [1] * 10 + [2] * 40 + [1] * 60
+        changes = count_heavy_hitter_changes(items, phi=0.5, epsilon=0.2)
+        assert changes == 3

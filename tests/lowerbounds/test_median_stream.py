@@ -1,0 +1,51 @@
+"""§3.2 median lower-bound construction tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.lowerbounds import count_median_changes, median_lower_bound_stream
+from repro.lowerbounds.median_stream import HIGH_VALUE, LOW_VALUE
+
+
+class TestConstruction:
+    def test_two_values_only(self):
+        items, _rounds = median_lower_bound_stream(0.02, 10_000)
+        assert set(items) == {LOW_VALUE, HIGH_VALUE}
+        assert len(items) >= 10_000
+
+    def test_rounds_scale_with_log_n_over_eps(self):
+        _items_a, rounds_a = median_lower_bound_stream(0.04, 20_000)
+        _items_b, rounds_b = median_lower_bound_stream(0.02, 20_000)
+        # Halving eps should roughly double the number of rounds.
+        assert rounds_b > 1.4 * rounds_a
+
+    def test_median_flips_every_round(self):
+        items, rounds = median_lower_bound_stream(0.02, 20_000)
+        changes = count_median_changes(items)
+        assert changes >= rounds - 2
+
+    def test_change_count_near_log_n_over_eps(self):
+        epsilon = 0.02
+        items, _rounds = median_lower_bound_stream(epsilon, 30_000)
+        changes = count_median_changes(items)
+        predicted = math.log(len(items)) / epsilon
+        assert changes >= predicted / 40
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            median_lower_bound_stream(0.2, 1000)
+        with pytest.raises(ConfigurationError):
+            median_lower_bound_stream(0, 1000)
+
+
+class TestChangeCounter:
+    def test_simple(self):
+        items = [1, 1, 2, 2, 2]  # median flips from 1 to 2 at the end
+        assert count_median_changes(items) == 1
+
+    def test_no_changes(self):
+        assert count_median_changes([1, 1, 1, 2]) == 0

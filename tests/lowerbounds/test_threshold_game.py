@@ -1,0 +1,67 @@
+"""Threshold game tests: the Lemma 2.3 dichotomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.lowerbounds import (
+    CheatingDetector,
+    CorrectDetector,
+    play_adversarial,
+    play_spread,
+)
+
+
+class TestCorrectDetector:
+    def test_threshold_sum_always_legal(self):
+        """Sum of (n_j - 1) stays below the budget at all times."""
+        detector = CorrectDetector(num_sites=8, budget=1000)
+        for step in range(500):
+            slack = sum(
+                detector.threshold(site) - 1 for site in range(8)
+            )
+            assert slack < 1000 - step
+            detector.deliver(step % 8, 1)
+
+    def test_adversary_forces_omega_k(self):
+        for k in (4, 16, 64):
+            outcome = play_adversarial(CorrectDetector(k, 4096), 4096)
+            assert outcome.messages >= k / 2, k
+
+    def test_forced_messages_scale_linearly(self):
+        messages = {
+            k: play_adversarial(CorrectDetector(k, 4096), 4096).messages
+            for k in (8, 32)
+        }
+        assert messages[32] >= 3 * messages[8]
+
+    def test_always_detects(self):
+        outcome = play_adversarial(CorrectDetector(4, 256), 256)
+        assert outcome.change_detected
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            CorrectDetector(0, 10)
+        with pytest.raises(ConfigurationError):
+            CorrectDetector(4, 0)
+
+
+class TestCheatingDetector:
+    def test_misses_the_change(self):
+        """Violating the sum constraint buys silence at the cost of
+        correctness — the other horn of the dichotomy."""
+        outcome = play_adversarial(CheatingDetector(8, 4096), 4096)
+        assert outcome.messages == 0
+        assert not outcome.change_detected
+
+    def test_spread_also_silent(self):
+        outcome = play_spread(CheatingDetector(8, 4096), 4096)
+        assert outcome.messages == 0
+
+
+class TestSpreadControl:
+    def test_spread_pays_comparable_or_less(self):
+        adversarial = play_adversarial(CorrectDetector(16, 4096), 4096)
+        spread = play_spread(CorrectDetector(16, 4096), 4096)
+        assert spread.messages <= adversarial.messages * 1.5

@@ -1,0 +1,43 @@
+"""Communication ledger tests."""
+
+from __future__ import annotations
+
+from repro.network.accounting import CommStats
+
+
+class TestCommStats:
+    def test_initial_state(self):
+        stats = CommStats()
+        assert stats.messages == 0
+        assert stats.words == 0
+
+    def test_charging(self):
+        stats = CommStats()
+        stats.charge_uplink("a", 3)
+        stats.charge_downlink("b", 2)
+        stats.charge_uplink("a", 1)
+        assert stats.uplink_messages == 2
+        assert stats.downlink_messages == 1
+        assert stats.words == 6
+        assert stats.by_kind["a"] == 2
+        assert stats.words_by_kind["a"] == 4
+
+    def test_snapshot_is_frozen_copy(self):
+        stats = CommStats()
+        stats.charge_uplink("a", 5)
+        snap = stats.snapshot()
+        stats.charge_uplink("a", 5)
+        assert snap.words == 5
+        assert stats.words == 10
+
+    def test_snapshot_subtraction(self):
+        stats = CommStats()
+        stats.charge_uplink("a", 5)
+        before = stats.snapshot()
+        stats.charge_downlink("b", 7)
+        stats.charge_uplink("a", 2)
+        delta = stats.snapshot() - before
+        assert delta.messages == 2
+        assert delta.words == 9
+        assert delta.uplink_words == 2
+        assert delta.downlink_words == 7

@@ -1,0 +1,42 @@
+"""Message sizing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.message import Message, payload_words
+
+
+class TestPayloadWords:
+    def test_scalars(self):
+        assert payload_words(None) == 0
+        assert payload_words(5) == 1
+        assert payload_words(2.5) == 1
+        assert payload_words("all") == 1
+
+    def test_sequences(self):
+        assert payload_words([1, 2, 3]) == 3
+        assert payload_words((1, [2, 3])) == 3
+        assert payload_words([]) == 0
+
+    def test_mapping(self):
+        assert payload_words({1: 2, 3: [4, 5]}) == 1 + 1 + 1 + 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_words(object())
+
+
+class TestMessage:
+    def test_default_words(self):
+        assert Message("kind").words == 1
+        assert Message("kind", 7).words == 2
+        assert Message("kind", (1, 2, 3)).words == 4
+
+    def test_explicit_words_override(self):
+        assert Message("kind", [1, 2], words=10).words == 10
+
+    def test_frozen(self):
+        message = Message("kind", 1)
+        with pytest.raises(AttributeError):
+            message.kind = "other"

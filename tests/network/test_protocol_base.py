@@ -1,0 +1,95 @@
+"""ContinuousTrackingProtocol facade tests (warm-up handling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProtocolError, UniverseError
+from repro.common.params import TrackingParams
+from repro.network.message import Message
+from repro.network.protocol import (
+    ContinuousTrackingProtocol,
+    Coordinator,
+    Site,
+)
+
+
+class _NullSite(Site):
+    def __init__(self, site_id, network):
+        super().__init__(site_id, network)
+        self.observed: list[int] = []
+
+    def observe(self, item: int) -> None:
+        self.observed.append(item)
+
+
+class _NullCoordinator(Coordinator):
+    def on_message(self, site_id: int, message: Message) -> None:
+        pass
+
+
+class MiniProtocol(ContinuousTrackingProtocol):
+    """Minimal concrete protocol recording its initialization."""
+
+    def _build(self) -> None:
+        self._sites = [
+            _NullSite(index, self.network)
+            for index in range(self.params.num_sites)
+        ]
+        self._coordinator = _NullCoordinator(self.network)
+        self.network.bind(self._coordinator, self._sites)
+        self.init_snapshot = None
+
+    def _site(self, site_id):
+        return self._sites[site_id]
+
+    def _initialize(self, per_site_items):
+        self.init_snapshot = [list(items) for items in per_site_items]
+
+
+@pytest.fixture
+def protocol():
+    return MiniProtocol(
+        TrackingParams(num_sites=2, epsilon=0.5, universe_size=100)
+    )
+
+
+class TestWarmup:
+    def test_warmup_length(self, protocol):
+        assert protocol.params.warmup_items == 4
+        for index in range(3):
+            protocol.process(index % 2, index + 1)
+        assert protocol.in_warmup
+        protocol.process(1, 50)
+        assert not protocol.in_warmup
+
+    def test_warmup_forwards_and_charges(self, protocol):
+        protocol.process(0, 9)
+        assert protocol.stats.uplink_words == 2
+        assert protocol.stats.by_kind["warmup"] == 1
+
+    def test_initialize_receives_per_site_items(self, protocol):
+        arrivals = [(0, 1), (1, 2), (0, 3), (1, 4)]
+        protocol.process_stream(arrivals)
+        assert protocol.init_snapshot == [[1, 3], [2, 4]]
+
+    def test_post_warmup_items_go_to_sites(self, protocol):
+        protocol.process_stream([(0, 1), (1, 2), (0, 3), (1, 4)])
+        protocol.process(0, 77)
+        assert protocol._sites[0].observed == [77]
+
+    def test_items_processed(self, protocol):
+        protocol.process_stream([(0, 1), (1, 2)])
+        assert protocol.items_processed == 2
+
+
+class TestValidation:
+    def test_rejects_out_of_universe(self, protocol):
+        with pytest.raises(UniverseError):
+            protocol.process(0, 0)
+        with pytest.raises(UniverseError):
+            protocol.process(0, 101)
+
+    def test_rejects_unknown_site(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.process(5, 1)

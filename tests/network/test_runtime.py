@@ -1,0 +1,117 @@
+"""Network runtime tests: delivery, charging, cascades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CommunicationError
+from repro.network.message import Message
+from repro.network.protocol import Coordinator, Site
+from repro.network.runtime import Network
+
+
+class EchoSite(Site):
+    """Records pushes; answers requests with its id."""
+
+    def __init__(self, site_id, network):
+        super().__init__(site_id, network)
+        self.received: list[Message] = []
+
+    def observe(self, item: int) -> None:
+        self.send(Message("obs", item))
+
+    def on_message(self, message: Message) -> None:
+        self.received.append(message)
+
+    def on_request(self, message: Message) -> Message:
+        return Message("reply", self.site_id)
+
+
+class RecordingCoordinator(Coordinator):
+    def __init__(self, network):
+        super().__init__(network)
+        self.received: list[tuple[int, Message]] = []
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        self.received.append((site_id, message))
+
+
+@pytest.fixture
+def net():
+    network = Network(3)
+    coordinator = RecordingCoordinator(network)
+    sites = [EchoSite(index, network) for index in range(3)]
+    network.bind(coordinator, sites)
+    return network, coordinator, sites
+
+
+class TestDelivery:
+    def test_uplink(self, net):
+        network, coordinator, sites = net
+        sites[1].observe(42)
+        assert coordinator.received == [(1, Message("obs", 42))]
+        assert network.stats.uplink_messages == 1
+        assert network.stats.uplink_words == 2
+
+    def test_downlink(self, net):
+        network, _coordinator, sites = net
+        network.send_to_site(2, Message("hello", None))
+        assert sites[2].received[0].kind == "hello"
+        assert network.stats.downlink_messages == 1
+
+    def test_broadcast_charges_k(self, net):
+        network, _coordinator, sites = net
+        network.broadcast(Message("cfg", 9))
+        assert all(site.received for site in sites)
+        assert network.stats.downlink_messages == 3
+        assert network.stats.downlink_words == 6
+
+    def test_request_charges_both_directions(self, net):
+        network, _coordinator, _sites = net
+        reply = network.request(0, Message("ask", None))
+        assert reply.payload == 0
+        assert network.stats.downlink_messages == 1
+        assert network.stats.uplink_messages == 1
+
+    def test_request_all_in_site_order(self, net):
+        network, _coordinator, _sites = net
+        replies = network.request_all(Message("ask", None))
+        assert [reply.payload for reply in replies] == [0, 1, 2]
+        assert network.stats.messages == 6
+
+
+class TestErrors:
+    def test_unbound_network_rejects_traffic(self):
+        network = Network(2)
+        with pytest.raises(CommunicationError):
+            network.send_to_coordinator(0, Message("x"))
+
+    def test_unknown_site(self, net):
+        network, _coordinator, _sites = net
+        with pytest.raises(CommunicationError):
+            network.send_to_site(7, Message("x"))
+
+    def test_bad_site_count_at_bind(self):
+        network = Network(2)
+        coordinator = RecordingCoordinator(network)
+        with pytest.raises(CommunicationError):
+            network.bind(coordinator, [EchoSite(0, network)])
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(CommunicationError):
+            Network(0)
+
+    def test_default_handlers_reject_unknown(self, net):
+        network, _coordinator, _sites = net
+
+        class StrictSite(Site):
+            def observe(self, item):
+                pass
+
+        strict = StrictSite(0, network)
+        from repro.common.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            strict.on_message(Message("weird"))
+        with pytest.raises(ProtocolError):
+            strict.on_request(Message("weird"))

@@ -1,0 +1,84 @@
+"""Guarantee-checker tests: it must catch deliberately broken protocols."""
+
+from __future__ import annotations
+
+from repro.common.params import TrackingParams
+from repro.core.heavy_hitters import HeavyHitterProtocol
+from repro.core.quantile import QuantileProtocol
+from repro.oracle import (
+    audit_heavy_hitter_protocol,
+    audit_quantile_protocol,
+    audit_rank_protocol,
+)
+
+UNIVERSE = 256
+
+
+class _LyingHH(HeavyHitterProtocol):
+    """Reports an empty set no matter what (false negatives)."""
+
+    def heavy_hitters(self, phi):
+        return set()
+
+
+class _LyingQuantile(QuantileProtocol):
+    """Always answers the universe minimum."""
+
+    def quantile(self):
+        return 1
+
+
+class _LyingRank:
+    """Duck-typed rank protocol that answers 0 everywhere."""
+
+    def __init__(self, params):
+        self.params = params
+
+    def process(self, site_id, item):
+        pass
+
+    def rank(self, item):
+        return 0
+
+
+def heavy_arrivals(n=3000):
+    return [(index % 2, 5 if index % 3 else 200) for index in range(n)]
+
+
+class TestCatchesViolations:
+    def test_catches_missed_heavy_hitters(self):
+        params = TrackingParams(num_sites=2, epsilon=0.05, universe_size=UNIVERSE)
+        protocol = _LyingHH(params)
+        report = audit_heavy_hitter_protocol(
+            protocol, heavy_arrivals(), phi=0.2, checkpoint_every=300
+        )
+        assert not report.ok
+        assert any("missed" in violation for violation in report.violations)
+
+    def test_catches_bad_quantile(self):
+        params = TrackingParams(num_sites=2, epsilon=0.05, universe_size=UNIVERSE)
+        protocol = _LyingQuantile(params, phi=0.5)
+        arrivals = [(index % 2, 100 + index % 50) for index in range(3000)]
+        report = audit_quantile_protocol(protocol, arrivals, checkpoint_every=300)
+        assert not report.ok
+        assert report.max_error > 0.05
+
+    def test_catches_bad_ranks(self):
+        params = TrackingParams(num_sites=2, epsilon=0.05, universe_size=UNIVERSE)
+        protocol = _LyingRank(params)
+        arrivals = [(0, 100)] * 1000
+        report = audit_rank_protocol(
+            protocol, arrivals, probe_values=[150], checkpoint_every=100
+        )
+        assert not report.ok
+
+
+class TestPassesHonest:
+    def test_honest_protocol_passes(self):
+        params = TrackingParams(num_sites=2, epsilon=0.1, universe_size=UNIVERSE)
+        protocol = HeavyHitterProtocol(params)
+        report = audit_heavy_hitter_protocol(
+            protocol, heavy_arrivals(), phi=0.2, checkpoint_every=300
+        )
+        assert report.ok, report.violations
+        assert report.checkpoints == 10

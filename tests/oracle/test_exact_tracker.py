@@ -1,0 +1,95 @@
+"""Exact tracker tests (including property tests against brute force)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oracle import ExactTracker
+
+
+class TestBasics:
+    def test_frequency_and_total(self):
+        tracker = ExactTracker(64)
+        for item in [5, 5, 9]:
+            tracker.update(item)
+        assert tracker.total == 3
+        assert tracker.frequency(5) == 2
+        assert tracker.frequency(1) == 0
+
+    def test_ranks(self):
+        tracker = ExactTracker(64)
+        for item in [10, 20, 20, 30]:
+            tracker.update(item)
+        assert tracker.rank_leq(20) == 3
+        assert tracker.rank_less(20) == 1
+
+    def test_heavy_hitters(self):
+        tracker = ExactTracker(64)
+        for item in [7] * 6 + [8] * 3 + [9]:
+            tracker.update(item)
+        assert tracker.heavy_hitters(0.5) == {7}
+        assert tracker.heavy_hitters(0.3) == {7, 8}
+
+    def test_quantile(self):
+        tracker = ExactTracker(64)
+        for item in range(1, 11):
+            tracker.update(item)
+        assert tracker.quantile(0.5) == 5
+
+
+class TestGuaranteeHelpers:
+    def test_is_valid_quantile_with_ties(self):
+        tracker = ExactTracker(8)
+        for item in [3] * 100:
+            tracker.update(item)
+        assert tracker.is_valid_quantile(3, 0.5, 0.0)
+        assert not tracker.is_valid_quantile(2, 0.5, 0.1)
+
+    def test_quantile_rank_offset_zero_inside_window(self):
+        tracker = ExactTracker(8)
+        for item in [3] * 10:
+            tracker.update(item)
+        assert tracker.quantile_rank_offset(3, 0.5) == 0.0
+        assert tracker.quantile_rank_offset(2, 0.5) == 0.5
+
+    def test_hh_violations(self):
+        tracker = ExactTracker(64)
+        for item in [7] * 6 + [8] * 3 + [9]:
+            tracker.update(item)
+        missed, spurious = tracker.heavy_hitter_violations(
+            reported={9}, phi=0.5, epsilon=0.1
+        )
+        assert missed == {7}
+        assert spurious == {9}
+
+    def test_rank_error(self):
+        tracker = ExactTracker(64)
+        tracker.update(10)
+        assert tracker.rank_error(10, 1) == 0
+        assert tracker.rank_error(10, 3) == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    items=st.lists(
+        st.integers(min_value=1, max_value=32), min_size=1, max_size=200
+    ),
+    phi=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_matches_brute_force(items, phi):
+    tracker = ExactTracker(32)
+    for item in items:
+        tracker.update(item)
+    counts = Counter(items)
+    total = len(items)
+    assert tracker.heavy_hitters(phi) == {
+        item for item, cnt in counts.items() if cnt >= phi * total
+    }
+    value = tracker.quantile(phi)
+    smaller = sum(1 for v in items if v < value)
+    greater = sum(1 for v in items if v > value)
+    assert smaller <= phi * total + 1e-9
+    assert greater <= (1 - phi) * total + 1e-9

@@ -1,0 +1,66 @@
+"""Count–Min sketch tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.sketches.countmin import CountMinSketch
+
+
+class TestBasics:
+    def test_shape(self):
+        sketch = CountMinSketch(0.01, delta=0.01)
+        depth, width = sketch.shape
+        assert width >= 100
+        assert depth >= 4
+
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(0.05, rng=make_rng(1))
+        items = [1, 1, 2, 3, 3, 3, 50, 50]
+        for item in items:
+            sketch.insert(item)
+        truth = Counter(items)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_error_within_bound_typically(self):
+        sketch = CountMinSketch(0.01, rng=make_rng(2))
+        rng = make_rng(3)
+        items = rng.integers(1, 1000, size=5000).tolist()
+        for item in items:
+            sketch.insert(item)
+        truth = Counter(items)
+        overshoots = [
+            sketch.estimate(item) - count for item, count in truth.items()
+        ]
+        assert max(overshoots) <= 0.01 * len(items) * 3  # generous slack
+
+    def test_weighted_insert(self):
+        sketch = CountMinSketch(0.1)
+        sketch.insert(9, 100)
+        assert sketch.estimate(9) >= 100
+        assert sketch.count == 100
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0.1).insert(1, -5)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0.1, delta=0)
+
+    def test_enumeration_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            CountMinSketch(0.1).heavy_hitters(10)
+
+    def test_heavy_hitters_from_candidates(self):
+        sketch = CountMinSketch(0.05, rng=make_rng(4))
+        for _ in range(100):
+            sketch.insert(77)
+        sketch.insert(5)
+        hitters = sketch.heavy_hitters_from([77, 5], threshold=50)
+        assert 77 in hitters
+        assert 5 not in hitters

@@ -1,0 +1,53 @@
+"""Exact summary implementations (reference behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.exact import ExactFrequency, ExactQuantile
+
+
+class TestExactFrequency:
+    def test_counts(self):
+        sketch = ExactFrequency()
+        sketch.insert(3, 2)
+        sketch.insert(5)
+        assert sketch.estimate(3) == 2
+        assert sketch.estimate(5) == 1
+        assert sketch.estimate(99) == 0
+        assert sketch.count == 3
+        assert sketch.error_bound() == 0.0
+
+    def test_heavy_hitters(self):
+        sketch = ExactFrequency()
+        for item, weight in [(1, 10), (2, 3)]:
+            sketch.insert(item, weight)
+        assert sketch.heavy_hitters(5) == {1: 10}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ExactFrequency().insert(1, -1)
+
+    def test_items_snapshot_is_copy(self):
+        sketch = ExactFrequency()
+        sketch.insert(1)
+        snapshot = sketch.items()
+        snapshot[1] = 999
+        assert sketch.estimate(1) == 1
+
+
+class TestExactQuantile:
+    def test_rank_and_quantile(self):
+        sketch = ExactQuantile(100)
+        for item in [10, 20, 30, 40]:
+            sketch.insert(item)
+        assert sketch.rank(25) == 2
+        assert sketch.quantile(0.5) == 20
+        assert sketch.count == 4
+        assert sketch.error_bound() == 0.0
+
+    def test_range_count(self):
+        sketch = ExactQuantile(100)
+        for item in [10, 20, 30]:
+            sketch.insert(item)
+        assert sketch.range_count(15, 30) == 2

@@ -1,0 +1,96 @@
+"""Greenwald–Khanna sketch tests: rank error bound and compression."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.gk import GKQuantileSketch
+
+
+class TestBasics:
+    def test_empty(self):
+        sketch = GKQuantileSketch(0.1)
+        assert sketch.count == 0
+        assert sketch.rank(5) == 0
+        with pytest.raises(IndexError):
+            sketch.quantile(0.5)
+
+    def test_single_item(self):
+        sketch = GKQuantileSketch(0.1)
+        sketch.insert(42)
+        assert sketch.rank(41) == 0
+        assert sketch.rank(42) == 1
+        assert sketch.quantile(0.5) == 42
+
+    def test_sorted_insertion_ranks(self):
+        sketch = GKQuantileSketch(0.05)
+        for item in range(1, 101):
+            sketch.insert(item)
+        for probe in [10, 50, 90]:
+            assert abs(sketch.rank(probe) - probe) <= 0.05 * 100 + 1
+
+    def test_invalid_phi(self):
+        sketch = GKQuantileSketch(0.1)
+        sketch.insert(1)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+    def test_compression_keeps_size_small(self):
+        sketch = GKQuantileSketch(0.05)
+        for item in range(1, 5001):
+            sketch.insert(item)
+        # O(1/eps * log(eps n)) with small constants; generous cap.
+        assert sketch.tuple_count < 3000
+        assert sketch.tuple_count < sketch.count / 2
+
+    def test_extremes_are_exact(self):
+        sketch = GKQuantileSketch(0.1)
+        for item in [5, 2, 9, 1, 7, 3, 8]:
+            sketch.insert(item)
+        assert sketch.quantile(0.0) in (1, 2)
+        assert sketch.rank(0) == 0
+        assert sketch.rank(9) == sketch.count
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    epsilon=st.sampled_from([0.2, 0.1, 0.05]),
+    items=st.lists(
+        st.integers(min_value=1, max_value=1000), min_size=1, max_size=600
+    ),
+)
+def test_rank_error_bound(epsilon, items):
+    """|rank(x) - true_rank(x)| <= eps*n for any probe."""
+    sketch = GKQuantileSketch(epsilon)
+    for item in items:
+        sketch.insert(item)
+    n = len(items)
+    ordered = sorted(items)
+    for probe in [1, 250, 500, 750, 1000] + items[:5]:
+        true_rank = sum(1 for value in ordered if value <= probe)
+        assert abs(sketch.rank(probe) - true_rank) <= epsilon * n + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=st.lists(
+        st.integers(min_value=1, max_value=1000), min_size=5, max_size=600
+    ),
+    phi=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_quantile_error_bound(items, phi):
+    """The returned quantile's true rank is within eps*n + 1 of phi*n."""
+    epsilon = 0.1
+    sketch = GKQuantileSketch(epsilon)
+    for item in items:
+        sketch.insert(item)
+    n = len(items)
+    value = sketch.quantile(phi)
+    smaller = sum(1 for v in items if v < value)
+    at_most = sum(1 for v in items if v <= value)
+    target = phi * n
+    # The rank window of the returned value must come within eps*n + 1.
+    distance = max(smaller - target, target - at_most, 0)
+    assert distance <= epsilon * n + 1

@@ -1,0 +1,76 @@
+"""Greenwald–Khanna internal invariants (beyond black-box rank error)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.gk import GKQuantileSketch
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=st.lists(
+        st.integers(min_value=1, max_value=500), min_size=1, max_size=500
+    )
+)
+def test_g_sums_to_count(items):
+    """The g fields always sum to the number of inserted items."""
+    sketch = GKQuantileSketch(0.1)
+    for item in items:
+        sketch.insert(item)
+    assert sum(g for _v, g, _d in sketch.merged_values()) == len(items)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=st.lists(
+        st.integers(min_value=1, max_value=500), min_size=2, max_size=500
+    )
+)
+def test_band_invariant(items):
+    """Classic GK invariant: g_i + delta_i <= 2*eps*n (+1 slack for the
+    integer threshold floor)."""
+    epsilon = 0.1
+    sketch = GKQuantileSketch(epsilon)
+    for item in items:
+        sketch.insert(item)
+    n = len(items)
+    cap = max(1, int(2 * epsilon * n))
+    for _value, g, delta in sketch.merged_values():
+        assert g + delta <= cap + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=st.lists(
+        st.integers(min_value=1, max_value=500), min_size=1, max_size=500
+    )
+)
+def test_values_sorted_and_extremes_kept(items):
+    sketch = GKQuantileSketch(0.1)
+    for item in items:
+        sketch.insert(item)
+    values = [v for v, _g, _d in sketch.merged_values()]
+    assert values == sorted(values)
+    assert values[0] == min(items)
+    assert values[-1] == max(items)
+
+
+def test_near_monotone_rank():
+    """rank() estimates use uncertainty-window midpoints, so they need not
+    be strictly monotone — but any decrease is bounded by the eps*n error
+    budget, and the endpoints are exact."""
+    epsilon = 0.05
+    sketch = GKQuantileSketch(epsilon)
+    import random
+
+    rng = random.Random(3)
+    n = 2000
+    for _ in range(n):
+        sketch.insert(rng.randint(1, 1000))
+    ranks = [sketch.rank(probe) for probe in range(0, 1001, 25)]
+    for previous, current in zip(ranks, ranks[1:]):
+        assert current >= previous - 2 * epsilon * n
+    assert ranks[0] == 0
+    assert ranks[-1] == n

@@ -1,0 +1,85 @@
+"""Misra–Gries sketch tests: error bound and underestimate property."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.sketches.misra_gries import MisraGriesSketch
+
+
+class TestBasics:
+    def test_capacity(self):
+        assert MisraGriesSketch(0.1).capacity == 10
+        assert MisraGriesSketch(0.5).capacity == 2
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            MisraGriesSketch(0.0)
+        with pytest.raises(ConfigurationError):
+            MisraGriesSketch(1.5)
+
+    def test_exact_when_few_distinct(self):
+        sketch = MisraGriesSketch(0.25)  # 4 counters
+        for item, weight in [(1, 5), (2, 3), (3, 2)]:
+            sketch.insert(item, weight)
+        assert sketch.estimate(1) == 5
+        assert sketch.estimate(2) == 3
+        assert sketch.estimate(3) == 2
+        assert sketch.count == 10
+
+    def test_eviction_decrements(self):
+        sketch = MisraGriesSketch(0.5)  # 2 counters
+        sketch.insert(1)
+        sketch.insert(2)
+        sketch.insert(3)  # decrement-all
+        assert sketch.estimate(3) == 0
+        assert sketch.count == 3
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MisraGriesSketch(0.5).insert(1, -1)
+
+    def test_zero_weight_noop(self):
+        sketch = MisraGriesSketch(0.5)
+        sketch.insert(1, 0)
+        assert sketch.count == 0
+
+    def test_heavy_hitters(self):
+        sketch = MisraGriesSketch(0.1)
+        for _ in range(60):
+            sketch.insert(7)
+        for item in range(100, 140):
+            sketch.insert(item)
+        hitters = sketch.heavy_hitters(threshold=30)
+        assert 7 in hitters
+
+    def test_never_more_than_capacity_counters(self):
+        sketch = MisraGriesSketch(0.2)
+        for item in range(1000):
+            sketch.insert(item % 37 + 1)
+        assert len(sketch.items()) <= sketch.capacity
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    epsilon=st.sampled_from([0.5, 0.25, 0.1]),
+    items=st.lists(
+        st.integers(min_value=1, max_value=30), min_size=1, max_size=400
+    ),
+)
+def test_error_bound_property(epsilon, items):
+    """Estimates never overcount and undercount by at most eps * n."""
+    sketch = MisraGriesSketch(epsilon)
+    for item in items:
+        sketch.insert(item)
+    truth = Counter(items)
+    n = len(items)
+    for item, true_count in truth.items():
+        estimate = sketch.estimate(item)
+        assert estimate <= true_count
+        assert true_count - estimate <= epsilon * n + 1e-9

@@ -1,0 +1,61 @@
+"""Reservoir sampling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.sketches.reservoir import ReservoirSample
+
+
+class TestBasics:
+    def test_fills_to_capacity(self):
+        reservoir = ReservoirSample(5, rng=make_rng(0))
+        for item in range(1, 4):
+            reservoir.insert(item)
+        assert sorted(reservoir.sample()) == [1, 2, 3]
+        assert reservoir.count == 3
+
+    def test_capacity_never_exceeded(self):
+        reservoir = ReservoirSample(10, rng=make_rng(1))
+        for item in range(1000):
+            reservoir.insert(item + 1)
+        assert len(reservoir.sample()) == 10
+        assert reservoir.count == 1000
+
+    def test_invalid_capacity(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ReservoirSample(0)
+
+    def test_uniformity_rough(self):
+        """Each element should appear with probability ~capacity/n."""
+        hits = 0
+        trials = 400
+        for seed in range(trials):
+            reservoir = ReservoirSample(10, rng=make_rng(seed))
+            for item in range(1, 101):
+                reservoir.insert(item)
+            if 1 in reservoir.sample():  # P = 10/100
+                hits += 1
+        assert 0.04 < hits / trials < 0.2
+
+    def test_estimate_frequency(self):
+        reservoir = ReservoirSample(50, rng=make_rng(2))
+        for _ in range(60):
+            reservoir.insert(7)
+        for item in range(100, 140):
+            reservoir.insert(item)
+        estimate = reservoir.estimate_frequency(7)
+        assert 20 <= estimate <= 100  # true 60 out of 100
+
+    def test_quantile_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            ReservoirSample(4).estimate_quantile(0.5)
+
+    def test_quantile_estimate(self):
+        reservoir = ReservoirSample(200, rng=make_rng(3))
+        for item in range(1, 101):
+            reservoir.insert(item)
+        assert abs(reservoir.estimate_quantile(0.5) - 50) <= 2

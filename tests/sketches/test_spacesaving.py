@@ -1,0 +1,72 @@
+"""SpaceSaving sketch tests: overestimate property and coverage guarantee."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.spacesaving import SpaceSavingSketch
+
+
+class TestBasics:
+    def test_exact_when_under_capacity(self):
+        sketch = SpaceSavingSketch(0.25)
+        for item, weight in [(1, 4), (2, 2)]:
+            sketch.insert(item, weight)
+        assert sketch.estimate(1) == 4
+        assert sketch.estimate(2) == 2
+        assert sketch.error_bound() == 0.0
+
+    def test_eviction_inherits_count(self):
+        sketch = SpaceSavingSketch(0.99)  # single counter
+        sketch.insert(1)
+        sketch.insert(2)  # evicts 1, inherits its count
+        assert sketch.estimate(2) == 2
+        assert sketch.estimate(1) == 0
+        assert sketch.guaranteed_count(2) == 1
+
+    def test_monitored_set_bounded(self):
+        sketch = SpaceSavingSketch(0.1)
+        for item in range(1, 500):
+            sketch.insert(item)
+        assert len(sketch.items()) <= sketch.capacity
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSketch(0.5).insert(1, -2)
+
+    def test_heavy_hitters_contains_frequent(self):
+        sketch = SpaceSavingSketch(0.05)
+        for _ in range(300):
+            sketch.insert(42)
+        for item in range(100, 400):
+            sketch.insert(item)
+        assert 42 in sketch.heavy_hitters(threshold=200)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    epsilon=st.sampled_from([0.5, 0.2, 0.1]),
+    items=st.lists(
+        st.integers(min_value=1, max_value=40), min_size=1, max_size=500
+    ),
+)
+def test_overestimate_with_bounded_error(epsilon, items):
+    """freq(x) <= estimate(x) <= freq(x) + eps*n for every monitored x,
+    and every item above eps*n is monitored."""
+    sketch = SpaceSavingSketch(epsilon)
+    for item in items:
+        sketch.insert(item)
+    truth = Counter(items)
+    n = len(items)
+    monitored = sketch.items()
+    for item, estimate in monitored.items():
+        assert estimate >= truth[item]
+        assert estimate - truth[item] <= n / sketch.capacity + 1e-9
+        assert sketch.guaranteed_count(item) <= truth[item]
+    for item, true_count in truth.items():
+        if true_count > n / sketch.capacity:
+            assert item in monitored

@@ -1,0 +1,155 @@
+"""Fenwick tree unit and property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import UniverseError
+from repro.structures.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = FenwickTree(16)
+        assert tree.total == 0
+        assert len(tree) == 0
+        assert tree.prefix_sum(16) == 0
+
+    def test_add_and_count(self):
+        tree = FenwickTree(8)
+        tree.add(3)
+        tree.add(3)
+        tree.add(7)
+        assert tree.count(3) == 2
+        assert tree.count(7) == 1
+        assert tree.count(1) == 0
+        assert tree.total == 3
+
+    def test_prefix_sum(self):
+        tree = FenwickTree(10)
+        for item in [1, 5, 5, 9]:
+            tree.add(item)
+        assert tree.prefix_sum(0) == 0
+        assert tree.prefix_sum(1) == 1
+        assert tree.prefix_sum(4) == 1
+        assert tree.prefix_sum(5) == 3
+        assert tree.prefix_sum(10) == 4
+
+    def test_prefix_sum_clamps_beyond_universe(self):
+        tree = FenwickTree(4)
+        tree.add(4)
+        assert tree.prefix_sum(100) == 1
+
+    def test_range_sum(self):
+        tree = FenwickTree(10)
+        for item in [2, 4, 4, 6, 8]:
+            tree.add(item)
+        assert tree.range_sum(4, 6) == 3
+        assert tree.range_sum(5, 5) == 0
+        assert tree.range_sum(9, 3) == 0
+
+    def test_remove(self):
+        tree = FenwickTree(8)
+        tree.add(5, 3)
+        tree.remove(5)
+        assert tree.count(5) == 2
+        assert tree.total == 2
+
+    def test_weighted_add(self):
+        tree = FenwickTree(8)
+        tree.add(2, 10)
+        assert tree.count(2) == 10
+        tree.add(2, 0)  # no-op
+        assert tree.total == 10
+
+    def test_rank_is_strictly_less(self):
+        tree = FenwickTree(8)
+        tree.add(4, 2)
+        assert tree.rank(4) == 0
+        assert tree.rank(5) == 2
+
+    def test_out_of_universe_rejected(self):
+        tree = FenwickTree(8)
+        with pytest.raises(UniverseError):
+            tree.add(0)
+        with pytest.raises(UniverseError):
+            tree.add(9)
+
+    def test_invalid_size_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FenwickTree(0)
+
+
+class TestSelect:
+    def test_select_simple(self):
+        tree = FenwickTree(16)
+        for item in [3, 3, 7, 12]:
+            tree.add(item)
+        assert tree.select(1) == 3
+        assert tree.select(2) == 3
+        assert tree.select(3) == 7
+        assert tree.select(4) == 12
+
+    def test_select_out_of_range(self):
+        tree = FenwickTree(4)
+        tree.add(1)
+        with pytest.raises(IndexError):
+            tree.select(0)
+        with pytest.raises(IndexError):
+            tree.select(2)
+
+    def test_quantile_median(self):
+        tree = FenwickTree(100)
+        for item in range(1, 12):  # 1..11, median 6
+            tree.add(item)
+        assert tree.quantile(0.5) == 6
+
+    def test_quantile_extremes(self):
+        tree = FenwickTree(100)
+        for item in [10, 20, 30]:
+            tree.add(item)
+        assert tree.quantile(0.0) == 10
+        assert tree.quantile(1.0) == 30
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(IndexError):
+            FenwickTree(4).quantile(0.5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    items=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=200)
+)
+def test_matches_brute_force(items):
+    """Prefix sums, ranks, and selects all agree with a plain sorted list."""
+    tree = FenwickTree(64)
+    for item in items:
+        tree.add(item)
+    ordered = sorted(items)
+    for probe in range(0, 66):
+        expected = sum(1 for value in items if value <= probe)
+        assert tree.prefix_sum(probe) == expected
+    for rank in range(1, len(items) + 1):
+        assert tree.select(rank) == ordered[rank - 1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    items=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=100),
+    phi=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_quantile_definition(items, phi):
+    """quantile(phi) satisfies the paper's two-sided quantile definition."""
+    tree = FenwickTree(64)
+    for item in items:
+        tree.add(item)
+    value = tree.quantile(phi)
+    total = len(items)
+    smaller = sum(1 for v in items if v < value)
+    greater = sum(1 for v in items if v > value)
+    assert smaller <= phi * total + 1e-9
+    assert greater <= (1 - phi) * total + 1e-9

@@ -1,0 +1,135 @@
+"""Interval partition unit and property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.intervals import (
+    IntervalPartition,
+    equi_depth_separators,
+)
+
+
+class TestEquiDepthSeparators:
+    def test_basic(self):
+        values = list(range(1, 11))  # 1..10
+        assert equi_depth_separators(values, 3) == [3, 6, 9]
+
+    def test_bucket_larger_than_data(self):
+        assert equi_depth_separators([1, 2], 5) == []
+
+    def test_empty(self):
+        assert equi_depth_separators([], 3) == []
+
+    def test_bucket_one_returns_everything(self):
+        assert equi_depth_separators([4, 8, 9], 1) == [4, 8, 9]
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            equi_depth_separators([1], 0)
+
+    def test_rank_recoverable_within_bucket(self):
+        values = sorted([7, 3, 9, 1, 4, 4, 8, 2, 6, 5])
+        bucket = 3
+        separators = equi_depth_separators(values, bucket)
+        for probe in range(0, 12):
+            estimate = bucket * sum(1 for sep in separators if sep <= probe)
+            exact = sum(1 for value in values if value <= probe)
+            assert abs(estimate - exact) <= bucket
+
+
+class TestIntervalPartition:
+    def test_from_separators_structure(self):
+        part = IntervalPartition.from_separators([10, 20, 30], universe_size=100)
+        assert len(part) == 4
+        assert part.boundaries() == [1, 11, 21, 31, 101]
+        assert part.separators() == [10, 20, 30]
+
+    def test_no_separators_single_interval(self):
+        part = IntervalPartition.from_separators([], universe_size=50)
+        assert len(part) == 1
+        assert part.index_of(1) == 0
+        assert part.index_of(50) == 0
+
+    def test_dedup_and_out_of_range_separators(self):
+        part = IntervalPartition.from_separators(
+            [10, 10, 200, 20], universe_size=100
+        )
+        assert part.separators() == [10, 20]
+
+    def test_separator_at_universe_max_ignored(self):
+        part = IntervalPartition.from_separators([100], universe_size=100)
+        # boundary 101 equals the final sentinel; no extra interval.
+        assert len(part) == 1
+
+    def test_index_of(self):
+        part = IntervalPartition.from_separators([10, 20], universe_size=100)
+        assert part.index_of(1) == 0
+        assert part.index_of(10) == 0
+        assert part.index_of(11) == 1
+        assert part.index_of(20) == 1
+        assert part.index_of(21) == 2
+        assert part.index_of(100) == 2
+
+    def test_index_of_out_of_universe(self):
+        part = IntervalPartition.from_separators([10], universe_size=100)
+        with pytest.raises(ValueError):
+            part.index_of(0)
+        with pytest.raises(ValueError):
+            part.index_of(101)
+
+    def test_counts(self):
+        part = IntervalPartition.from_separators([10], universe_size=100)
+        part.add_count(0, 5)
+        part.set_count(1, 7)
+        assert part.get_count(0) == 5
+        assert part.total_count() == 12
+        assert part.prefix_count(1) == 5
+
+    def test_split(self):
+        part = IntervalPartition.from_separators([20], universe_size=100)
+        part.set_count(0, 10)
+        part.split(0, separator=10, left_count=4, right_count=6)
+        assert part.boundaries() == [1, 11, 21, 101]
+        assert part.get_count(0) == 4
+        assert part.get_count(1) == 6
+        assert part.index_of(10) == 0
+        assert part.index_of(11) == 1
+
+    def test_split_rejects_degenerate_separator(self):
+        part = IntervalPartition.from_separators([20], universe_size=100)
+        with pytest.raises(ValueError):
+            part.split(0, separator=20, left_count=1, right_count=1)  # = hi-1
+        with pytest.raises(ValueError):
+            part.split(0, separator=0, left_count=1, right_count=1)
+
+    def test_iteration(self):
+        part = IntervalPartition.from_separators([5], universe_size=10)
+        intervals = list(part)
+        assert [(iv.lo, iv.hi) for iv in intervals] == [(1, 6), (6, 11)]
+        assert 5 in intervals[0]
+        assert 6 not in intervals[0]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    separators=st.lists(
+        st.integers(min_value=1, max_value=99), max_size=20, unique=True
+    ),
+    probes=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=20),
+)
+def test_partition_tiles_universe(separators, probes):
+    """Every universe point belongs to exactly one interval."""
+    part = IntervalPartition.from_separators(separators, universe_size=100)
+    bounds = part.boundaries()
+    assert bounds[0] == 1
+    assert bounds[-1] == 101
+    assert bounds == sorted(set(bounds))
+    for probe in probes:
+        index = part.index_of(probe)
+        interval = part.interval(index)
+        assert probe in interval
+        hits = sum(1 for iv in part if probe in iv)
+        assert hits == 1

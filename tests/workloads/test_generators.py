@@ -1,0 +1,96 @@
+"""Workload generator tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng
+from repro.workloads import (
+    mixture_stream,
+    permutation_stream,
+    sequential_stream,
+    shifting_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+UNIVERSE = 1000
+
+
+class TestBounds:
+    @pytest.mark.parametrize(
+        "generator,kwargs",
+        [
+            (uniform_stream, {}),
+            (zipf_stream, {"skew": 1.3}),
+            (sequential_stream, {}),
+            (shifting_stream, {}),
+        ],
+    )
+    def test_items_in_universe(self, generator, kwargs):
+        items = generator(5000, UNIVERSE, rng=make_rng(0), **kwargs)
+        assert len(items) == 5000
+        assert items.min() >= 1
+        assert items.max() <= UNIVERSE
+
+
+class TestZipf:
+    def test_skew_concentrates_mass(self):
+        items = zipf_stream(20_000, UNIVERSE, skew=1.5, rng=make_rng(1))
+        counts = Counter(items.tolist())
+        top = counts.most_common(1)[0][1]
+        assert top > 0.2 * len(items)
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError):
+            zipf_stream(10, UNIVERSE, skew=0)
+
+    def test_deterministic(self):
+        a = zipf_stream(100, UNIVERSE, rng=make_rng(3))
+        b = zipf_stream(100, UNIVERSE, rng=make_rng(3))
+        assert (a == b).all()
+
+
+class TestPermutation:
+    def test_all_distinct(self):
+        items = permutation_stream(500, UNIVERSE, rng=make_rng(2))
+        assert len(set(items.tolist())) == 500
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            permutation_stream(UNIVERSE + 1, UNIVERSE)
+
+
+class TestMixture:
+    def test_planted_frequencies(self):
+        items = mixture_stream(
+            20_000, UNIVERSE, heavy_items={7: 0.3, 500: 0.1}, rng=make_rng(4)
+        )
+        counts = Counter(items.tolist())
+        assert abs(counts[7] / 20_000 - 0.3) < 0.03
+        assert abs(counts[500] / 20_000 - 0.1) < 0.03
+
+    def test_rejects_over_unit_mass(self):
+        with pytest.raises(ValueError):
+            mixture_stream(10, UNIVERSE, heavy_items={1: 0.8, 2: 0.5})
+
+
+class TestShifting:
+    def test_phases_have_different_centres(self):
+        items = shifting_stream(
+            8000, UNIVERSE, num_phases=2, rng=make_rng(5)
+        )
+        first = np.median(items[:4000])
+        second = np.median(items[4000:])
+        assert abs(first - second) > UNIVERSE * 0.02
+
+
+class TestSequential:
+    def test_wraps(self):
+        items = sequential_stream(UNIVERSE + 5, UNIVERSE)
+        assert items[0] == 1
+        assert items[UNIVERSE] == 1
+        assert items[UNIVERSE - 1] == UNIVERSE

@@ -1,0 +1,62 @@
+"""Site partitioner tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng
+from repro.workloads import (
+    block_partitioner,
+    hash_partitioner,
+    random_partitioner,
+    round_robin_partitioner,
+    skewed_partitioner,
+)
+
+ITEMS = np.arange(1, 1001)
+
+
+class TestRange:
+    @pytest.mark.parametrize(
+        "partitioner",
+        [
+            round_robin_partitioner,
+            random_partitioner,
+            skewed_partitioner,
+            hash_partitioner,
+            block_partitioner,
+        ],
+    )
+    def test_sites_in_range(self, partitioner):
+        sites = partitioner(ITEMS, 4, rng=make_rng(0))
+        assert len(sites) == len(ITEMS)
+        assert sites.min() >= 0
+        assert sites.max() <= 3
+
+
+class TestSemantics:
+    def test_round_robin_cycles(self):
+        sites = round_robin_partitioner(ITEMS, 4)
+        assert sites[:8].tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_hash_groups_by_item(self):
+        items = np.array([5, 5, 9, 5, 9])
+        sites = hash_partitioner(items, 4)
+        assert sites[0] == sites[1] == sites[3]
+        assert sites[2] == sites[4]
+
+    def test_skewed_favours_site_zero(self):
+        sites = skewed_partitioner(ITEMS, 4, rng=make_rng(1))
+        assert (sites == 0).mean() > 0.6
+
+    def test_block_is_contiguous(self):
+        sites = block_partitioner(ITEMS, 4)
+        assert (np.diff(sites) >= 0).all()
+        assert sites[0] == 0
+        assert sites[-1] == 3
+
+    def test_random_spreads(self):
+        sites = random_partitioner(ITEMS, 4, rng=make_rng(2))
+        counts = np.bincount(sites, minlength=4)
+        assert counts.min() > 150

@@ -1,0 +1,46 @@
+"""Stream assembly tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import make_stream, round_robin_partitioner, uniform_stream
+from repro.workloads.stream import stream_chunks
+
+
+class TestMakeStream:
+    def test_shape_and_determinism(self):
+        a = make_stream(
+            uniform_stream, round_robin_partitioner, 100, 64, 4, seed=5
+        )
+        b = make_stream(
+            uniform_stream, round_robin_partitioner, 100, 64, 4, seed=5
+        )
+        assert a == b
+        assert len(a) == 100
+        assert all(0 <= site < 4 and 1 <= item <= 64 for site, item in a)
+
+    def test_seed_changes_stream(self):
+        a = make_stream(uniform_stream, round_robin_partitioner, 50, 64, 2, seed=1)
+        b = make_stream(uniform_stream, round_robin_partitioner, 50, 64, 2, seed=2)
+        assert a != b
+
+    def test_generator_kwargs_forwarded(self):
+        from repro.workloads import zipf_stream
+
+        stream = make_stream(
+            zipf_stream, round_robin_partitioner, 50, 64, 2, seed=0, skew=2.0
+        )
+        assert len(stream) == 50
+
+
+class TestStreamChunks:
+    def test_chunking(self):
+        stream = [(0, index) for index in range(1, 11)]
+        chunks = list(stream_chunks(stream, 4))
+        assert [len(chunk) for chunk, _ in chunks] == [4, 4, 2]
+        assert [so_far for _, so_far in chunks] == [4, 8, 10]
+
+    def test_invalid_checkpoint(self):
+        with pytest.raises(ValueError):
+            list(stream_chunks([], 0))
